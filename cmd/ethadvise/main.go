@@ -1,0 +1,134 @@
+// Command ethadvise sweeps the calibrated cluster model over the
+// design space — algorithm x node count x coupling — and recommends
+// configurations, turning the paper's goal ("helping scientists to make
+// informed choices about how to best couple a simulation code with
+// visualization at extreme scale") into a one-shot query.
+//
+// Usage:
+//
+//	ethadvise -workload hacc -elements 1e9 -nodes 50,100,200,400
+//	ethadvise -workload xrage -nodes 16,64,216 -maxSeconds 30
+//	ethadvise -workload hacc -sim 120 -simBytes 3.2e10   # coupled pipeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/ascr-ecx/eth/internal/cluster"
+	"github.com/ascr-ecx/eth/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ethadvise: ")
+
+	workload := flag.String("workload", "hacc", "workload family: hacc (particle algorithms) or xrage (volume algorithms)")
+	elements := flag.Float64("elements", 0, "dataset elements (default: paper-scale for the workload)")
+	nodesCSV := flag.String("nodes", "50,100,200,400", "comma-separated node counts")
+	images := flag.Int("images", 0, "images per step (default per workload)")
+	steps := flag.Int("steps", 1, "time steps")
+	pixels := flag.Int("pixels", 1<<20, "pixels per image")
+	maxSeconds := flag.Float64("maxSeconds", 0, "feasibility bound on total time (0 = none)")
+	simSeconds := flag.Float64("sim", 0, "simulation seconds per step at -simNodes (0 = visualization only)")
+	simNodes := flag.Int("simNodes", 400, "reference allocation for -sim")
+	simBytes := flag.Float64("simBytes", 0, "simulation payload bytes per step")
+	calibrated := flag.Bool("calibrated", false, "use this machine's measured kernel costs")
+	top := flag.Int("top", 5, "how many configurations to list per objective")
+	flag.Parse()
+
+	req := cluster.AdviseRequest{
+		PixelsPerImage: *pixels,
+		TimeSteps:      *steps,
+		MaxSeconds:     *maxSeconds,
+	}
+	switch *workload {
+	case "hacc":
+		req.Algorithms = []string{"raycast", "gsplat", "points"}
+		req.Elements = 1e9
+		req.ImagesPerStep = 500
+	case "xrage":
+		req.Algorithms = []string{"vtk-iso", "ray-iso"}
+		req.Elements = 1840 * 1120 * 960
+		req.ImagesPerStep = 100
+	default:
+		log.Fatalf("unknown workload %q (want hacc or xrage)", *workload)
+	}
+	if *elements > 0 {
+		req.Elements = *elements
+	}
+	if *images > 0 {
+		req.ImagesPerStep = *images
+	}
+	nodes, err := parseNodes(*nodesCSV)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.NodeCounts = nodes
+	if *simSeconds > 0 {
+		req.Sim = &cluster.SimSpec{
+			SecondsPerStep: *simSeconds,
+			RefNodes:       *simNodes,
+			BytesPerStep:   *simBytes,
+			Utilization:    0.5,
+		}
+	}
+	if *calibrated {
+		fmt.Println("calibrating against this machine's kernels...")
+		req.Costs = cluster.Calibrate(0).Costs()
+	}
+
+	adv, err := cluster.Advise(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("evaluated %d configurations (%d feasible)\n\n", adv.Evaluated, len(adv.ByTime))
+	printRanking("Fastest configurations", adv.ByTime, *top)
+	fmt.Println()
+	printRanking("Most energy-frugal configurations", adv.ByEnergy, *top)
+
+	if bt, ok := adv.BestTime(); ok {
+		fmt.Printf("\nrecommendation (time):   %s — %.1f s, %.2f MJ\n", bt.Label(), bt.Seconds, bt.EnergyJ/1e6)
+	}
+	if be, ok := adv.BestEnergy(); ok {
+		fmt.Printf("recommendation (energy): %s — %.1f s, %.2f MJ\n", be.Label(), be.Seconds, be.EnergyJ/1e6)
+	} else {
+		fmt.Println("no feasible configuration — relax -maxSeconds or widen -nodes")
+	}
+}
+
+func printRanking(title string, cands []cluster.Candidate, top int) {
+	tab := metrics.NewTable(title, "Configuration", "Time (s)", "Power (kW)", "Energy (MJ)")
+	for i, c := range cands {
+		if i >= top {
+			break
+		}
+		tab.AddRow(c.Label(), c.Seconds, c.AvgWatts/1000, c.EnergyJ/1e6)
+	}
+	if err := tab.Fprint(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseNodes(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad node count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no node counts given")
+	}
+	return out, nil
+}

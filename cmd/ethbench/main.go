@@ -1,0 +1,106 @@
+// Command ethbench regenerates every table and figure of the paper's
+// evaluation section (§VI): Table I, Table II, and Figures 8 through 15.
+// Performance/power/energy rows come from the calibrated cluster model;
+// RMSE rows come from real renders of the real kernels. Each experiment
+// prints in the paper's row layout so results can be compared side by
+// side; -csv dumps machine-readable copies.
+//
+// Usage:
+//
+//	ethbench                # all experiments
+//	ethbench -only fig15    # a single experiment
+//	ethbench -csv results/  # also write CSVs
+//	ethbench -calibrated    # use this machine's measured kernel costs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/ascr-ecx/eth/internal/cluster"
+	"github.com/ascr-ecx/eth/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ethbench: ")
+
+	only := flag.String("only", "", "run a single experiment (table1, table2, fig8..fig15)")
+	csvDir := flag.String("csv", "", "directory to write CSV copies")
+	calibrated := flag.Bool("calibrated", false, "use this machine's measured kernel costs for the model")
+	particles := flag.Int("particles", 200_000, "particle count for the measured (RMSE) renders")
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.MeasuredParticles = *particles
+	if *calibrated {
+		fmt.Println("calibrating cost models against this machine's kernels...")
+		cfg.Costs = cluster.Calibrate(0).Costs()
+		fmt.Println("note: calibrated mode reflects this repository's Go kernels;")
+		fmt.Println("default mode reflects the paper's published VTK/OSPRay runtimes.")
+		fmt.Println()
+	}
+
+	order, results, err := runAll(cfg, *only)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, id := range order {
+		res, ok := results[id]
+		if !ok {
+			continue
+		}
+		fmt.Printf("==== %s ====\n", strings.ToUpper(id))
+		if err := res.Table.Fprint(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, id, res); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}
+
+func runAll(cfg experiments.Config, only string) ([]string, map[string]experiments.Result, error) {
+	if only == "" {
+		return experiments.All(cfg)
+	}
+	runs := map[string]func(experiments.Config) (experiments.Result, error){
+		"table1": experiments.Table1, "table2": experiments.Table2,
+		"fig8": experiments.Fig8, "fig9": experiments.Fig9,
+		"fig10": experiments.Fig10, "fig11": experiments.Fig11,
+		"fig12": experiments.Fig12, "fig13": experiments.Fig13,
+		"fig14": experiments.Fig14, "fig15": experiments.Fig15,
+	}
+	fn, ok := runs[only]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown experiment %q", only)
+	}
+	res, err := fn(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return []string{only}, map[string]experiments.Result{only: res}, nil
+}
+
+func writeCSV(dir, id string, res experiments.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	if err := res.Table.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

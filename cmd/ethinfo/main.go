@@ -1,0 +1,70 @@
+// Command ethinfo inspects ETHD dataset containers: kind, element
+// counts, bounds, and fields with their ranges — the quick sanity check
+// before wiring a file into an experiment. With -vtk it converts the
+// dataset to the ASCII legacy VTK format so it opens in ParaView/VisIt.
+//
+// Usage:
+//
+//	ethinfo data/hacc_step000.ethd
+//	ethinfo -vtk out.vtk data/xrage_step000.ethd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/vtkio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ethinfo: ")
+	vtkOut := flag.String("vtk", "", "also export as ASCII legacy VTK to this path")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: ethinfo [-vtk out.vtk] file.ethd ...")
+	}
+	for _, path := range flag.Args() {
+		ds, err := vtkio.ReadFile(path)
+		if err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		describe(path, ds)
+		if *vtkOut != "" {
+			if err := vtkio.ExportLegacyVTKFile(*vtkOut, ds, path); err != nil {
+				log.Fatalf("exporting %s: %v", *vtkOut, err)
+			}
+			fmt.Printf("  exported %s\n", *vtkOut)
+		}
+	}
+}
+
+func describe(path string, ds data.Dataset) {
+	fmt.Printf("%s:\n", path)
+	fmt.Printf("  kind     %v\n", ds.Kind())
+	b := ds.Bounds()
+	fmt.Printf("  bounds   %v .. %v\n", b.Min, b.Max)
+	fmt.Printf("  payload  %.2f MB\n", float64(ds.Bytes())/1e6)
+	switch d := ds.(type) {
+	case *data.PointCloud:
+		fmt.Printf("  points   %d\n", d.Count())
+		printFields(d.Fields)
+	case *data.StructuredGrid:
+		fmt.Printf("  dims     %dx%dx%d (%d vertices, %d cells)\n",
+			d.NX, d.NY, d.NZ, d.Count(), d.Cells())
+		fmt.Printf("  spacing  %v, origin %v\n", d.Spacing, d.Origin)
+		printFields(d.Fields)
+	case *data.UnstructuredGrid:
+		fmt.Printf("  vertices %d, tets %d\n", d.Count(), d.Cells())
+		printFields(d.Fields)
+	}
+}
+
+func printFields(fields []data.Field) {
+	for _, f := range fields {
+		lo, hi := f.MinMax()
+		fmt.Printf("  field    %-16s [%g, %g]\n", f.Name, lo, hi)
+	}
+}

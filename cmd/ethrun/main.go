@@ -1,0 +1,249 @@
+// Command ethrun executes one ETH experiment configuration and prints a
+// report — the single-shot harness entry point for design-space
+// exploration. It supports both execution modes:
+//
+//   - measured (default): runs the real pipelines on synthetic or
+//     exported data at laptop scale;
+//   - modeled (-modeled): runs the calibrated cluster model at
+//     paper-scale node counts, reporting time, power, and energy.
+//
+// Examples:
+//
+//	ethrun -workload hacc -particles 200000 -algorithm gsplat -ranks 4
+//	ethrun -workload hacc -data 'data/*.ethd' -algorithm raycast -mode socket
+//	ethrun -modeled -algorithm raycast -nodes 400 -elements 1e9 -images 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/ascr-ecx/eth/internal/cluster"
+	"github.com/ascr-ecx/eth/internal/core"
+	"github.com/ascr-ecx/eth/internal/coupling"
+	"github.com/ascr-ecx/eth/internal/layout"
+	"github.com/ascr-ecx/eth/internal/render"
+	"github.com/ascr-ecx/eth/internal/sampling"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ethrun: ")
+
+	// Shared flags.
+	algorithm := flag.String("algorithm", "raycast",
+		fmt.Sprintf("rendering back-end, one of %v", render.Algorithms()))
+	ratio := flag.Float64("sampling", 1.0, "spatial sampling ratio in (0, 1]")
+
+	// Measured-mode flags.
+	workload := flag.String("workload", "hacc", "measured: synthetic workload (hacc or xrage)")
+	dataGlob := flag.String("data", "", "measured: replay exported files instead of synthesizing")
+	particles := flag.Int("particles", 200_000, "measured: hacc particle count")
+	grid := flag.Int("grid", 64, "measured: xrage longest grid edge")
+	steps := flag.Int("steps", 1, "measured: time steps")
+	ranks := flag.Int("ranks", 1, "measured: proxy pairs")
+	width := flag.Int("width", 512, "measured: image width")
+	height := flag.Int("height", 512, "measured: image height")
+	imagesM := flag.Int("images", 3, "measured: images per step")
+	mode := flag.String("mode", "unified", "measured: coupling mode (unified or socket)")
+	method := flag.String("method", "random", "measured: sampling method (random, stride, stratified)")
+	out := flag.String("out", "", "measured: directory for PNG artifacts")
+
+	// Job-layout file (paper §VII).
+	specFile := flag.String("spec", "", "run a JSON job-layout file instead of flag configuration")
+
+	// Modeled-mode flags.
+	modeled := flag.Bool("modeled", false, "run the cluster model instead of real pipelines")
+	nodes := flag.Int("nodes", 400, "modeled: node count")
+	elements := flag.Float64("elements", 1e9, "modeled: dataset elements")
+	pixels := flag.Int("pixels", 1<<20, "modeled: pixels per image")
+	imagesPerStep := flag.Int("imagesPerStep", 500, "modeled: images per step")
+	timeSteps := flag.Int("timeSteps", 1, "modeled: time steps")
+	calibrated := flag.Bool("calibrated", false, "modeled: use this machine's measured kernel costs")
+
+	flag.Parse()
+
+	if *specFile != "" {
+		runSpec(*specFile)
+		return
+	}
+	if *modeled {
+		runModeled(*algorithm, *nodes, *elements, *ratio, *pixels, *imagesPerStep, *timeSteps, *calibrated)
+		return
+	}
+	runMeasured(measuredArgs{
+		workload: *workload, dataGlob: *dataGlob,
+		particles: *particles, grid: *grid, steps: *steps,
+		algorithm: *algorithm, ranks: *ranks,
+		width: *width, height: *height, images: *imagesM,
+		mode: *mode, ratio: *ratio, method: *method, out: *out,
+	})
+}
+
+// runSpec executes a job-layout file (§VII: "the user simply changes the
+// job layout file").
+func runSpec(path string) {
+	spec, err := layout.Load(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "eth-rendezvous-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	mspec, err := spec.ToMeasuredSpec(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.RunMeasured(mspec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("layout %q: %s on %s, %d pairs, %s coupling\n",
+		spec.Name, spec.Algorithm, spec.Workload.Kind, maxInt(spec.Pairs, 1), mspec.Mode)
+	fmt.Printf("  wall         %.3f s\n", res.Wall.Seconds())
+	fmt.Printf("  render       %.3f s\n", res.RenderTime.Seconds())
+	fmt.Printf("  elements     %d\n", res.Elements)
+	fmt.Printf("  interface    %.2f MB moved\n", float64(res.BytesMoved)/1e6)
+}
+
+type measuredArgs struct {
+	workload, dataGlob     string
+	particles, grid, steps int
+	algorithm              string
+	ranks                  int
+	width, height, images  int
+	mode                   string
+	ratio                  float64
+	method, out            string
+}
+
+func runMeasured(a measuredArgs) {
+	var (
+		wl  core.Workload
+		err error
+	)
+	switch {
+	case a.dataGlob != "":
+		paths, gerr := filepath.Glob(a.dataGlob)
+		if gerr != nil || len(paths) == 0 {
+			log.Fatalf("no files match %q", a.dataGlob)
+		}
+		wl, err = core.DiskWorkload("replay", paths...)
+	case a.workload == "hacc":
+		wl = core.HACCWorkload(a.particles, a.steps, 1)
+	case a.workload == "xrage":
+		wl = core.XRAGEWorkload(a.grid, a.grid*112/184, a.grid*96/184, a.steps, 1)
+	default:
+		log.Fatalf("unknown workload %q", a.workload)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var m coupling.Mode
+	layout := ""
+	switch a.mode {
+	case "unified":
+		m = coupling.Unified
+	case "socket":
+		m = coupling.Socket
+		f, err := os.CreateTemp("", "eth-layout-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		layout = f.Name()
+		f.Close()
+		defer os.Remove(layout)
+	default:
+		log.Fatalf("unknown mode %q (want unified or socket)", a.mode)
+	}
+
+	sm, err := parseMethod(a.method)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := core.RunMeasured(core.MeasuredSpec{
+		Workload:       wl,
+		Algorithm:      a.algorithm,
+		Width:          a.width,
+		Height:         a.height,
+		ImagesPerStep:  a.images,
+		Ranks:          a.ranks,
+		Mode:           m,
+		LayoutPath:     layout,
+		SamplingRatio:  a.ratio,
+		SamplingMethod: sm,
+		OutDir:         a.out,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured run: %s on %s, %d ranks, %s coupling\n",
+		a.algorithm, wl.Name, maxInt(a.ranks, 1), a.mode)
+	fmt.Printf("  wall         %.3f s\n", res.Wall.Seconds())
+	fmt.Printf("  render       %.3f s (summed across ranks)\n", res.RenderTime.Seconds())
+	fmt.Printf("  elements     %d (last step, after sampling)\n", res.Elements)
+	fmt.Printf("  interface    %.2f MB moved\n", float64(res.BytesMoved)/1e6)
+	if a.out != "" {
+		fmt.Printf("  artifacts    %s\n", a.out)
+	}
+}
+
+func runModeled(alg string, nodes int, elements, ratio float64, pixels, images, steps int, calibrated bool) {
+	var costs cluster.CostTable
+	if calibrated {
+		fmt.Println("calibrating against this machine's kernels...")
+		costs = cluster.Calibrate(0).Costs()
+	}
+	res, err := core.RunModeled(core.ModeledSpec{
+		Nodes:          nodes,
+		Algorithm:      alg,
+		Costs:          costs,
+		Elements:       elements,
+		SamplingRatio:  ratio,
+		PixelsPerImage: pixels,
+		ImagesPerStep:  images,
+		TimeSteps:      steps,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("modeled run: %s, %.3g elements, %d nodes, sampling %.2f\n", alg, elements, nodes, orOne(ratio))
+	fmt.Printf("  time         %.1f s (setup %.1f, compute %.1f, comm %.1f)\n",
+		res.Seconds, res.SetupSeconds, res.ComputeSeconds, res.CommSeconds)
+	fmt.Printf("  power        %.1f kW avg (%.1f kW dynamic), utilization %.2f\n",
+		res.AvgWatts/1000, res.DynWatts/1000, res.Utilization)
+	fmt.Printf("  energy       %.2f MJ\n", res.EnergyJ/1e6)
+}
+
+func parseMethod(s string) (sampling.Method, error) {
+	switch s {
+	case "random":
+		return sampling.Random, nil
+	case "stride":
+		return sampling.Stride, nil
+	case "stratified":
+		return sampling.Stratified, nil
+	default:
+		return 0, fmt.Errorf("unknown sampling method %q", s)
+	}
+}
+
+func orOne(v float64) float64 {
+	if v == 0 {
+		return 1
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

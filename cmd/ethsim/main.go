@@ -1,0 +1,91 @@
+// Command ethsim is the simulation-proxy executable: it replays exported
+// datasets through the in-situ interface, serving one visualization-proxy
+// peer per rank over the socket layer (§III-C). Start ethsim first; each
+// rank registers its address in the layout file, opens its port, and
+// waits. Then start ethviz with the same layout file.
+//
+// Usage:
+//
+//	ethsim -data 'data/hacc_step*.ethd' -rank 0 -ranks 4 -layout /tmp/eth.layout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/ascr-ecx/eth/internal/proxy"
+	"github.com/ascr-ecx/eth/internal/sampling"
+	"github.com/ascr-ecx/eth/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ethsim: ")
+
+	dataGlob := flag.String("data", "", "glob of dataset files, one per time step (required)")
+	rank := flag.Int("rank", 0, "this proxy pair's rank")
+	ranks := flag.Int("ranks", 1, "total proxy pairs (spatial pieces)")
+	layout := flag.String("layout", "eth.layout", "globally accessible layout file")
+	host := flag.String("host", "", "address to listen on (default loopback)")
+	ratio := flag.Float64("sampling", 1.0, "spatial sampling ratio in (0, 1]")
+	method := flag.String("method", "random", "sampling method: random, stride, stratified")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	compress := flag.Bool("compress", false, "DEFLATE-compress datasets on the wire")
+	flag.Parse()
+
+	if *dataGlob == "" {
+		log.Fatal("-data is required")
+	}
+	m, err := parseMethod(*method)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := proxy.NewDiskSourceGlob(*dataGlob)
+	if err != nil {
+		log.Fatalf("opening data: %v", err)
+	}
+	sim, err := proxy.NewSimProxy(proxy.SimConfig{
+		Rank: *rank, Ranks: *ranks,
+		SamplingRatio:  *ratio,
+		SamplingMethod: m,
+		Seed:           *seed,
+		Compress:       *compress,
+	}, src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := transport.Listen(*layout, *rank, *host)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	fmt.Printf("rank %d listening at %s (%d steps), waiting for visualization proxy\n",
+		*rank, ln.Addr(), sim.Steps())
+
+	c, err := ln.Accept()
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn := transport.NewConn(c)
+	defer conn.Close()
+	sent, err := sim.Serve(conn)
+	if err != nil {
+		log.Fatalf("serving: %v", err)
+	}
+	fmt.Printf("rank %d done: served %d steps, %.1f MB\n", *rank, sim.Steps(), float64(sent)/1e6)
+}
+
+func parseMethod(s string) (sampling.Method, error) {
+	switch s {
+	case "random":
+		return sampling.Random, nil
+	case "stride":
+		return sampling.Stride, nil
+	case "stratified":
+		return sampling.Stratified, nil
+	default:
+		return 0, fmt.Errorf("unknown sampling method %q", s)
+	}
+}

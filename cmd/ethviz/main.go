@@ -1,0 +1,108 @@
+// Command ethviz is the visualization-proxy executable: it locates its
+// paired simulation proxy through the layout file, connects, receives
+// each time step, renders it with the configured back-end, and writes
+// image artifacts (§III-C). Start it after ethsim.
+//
+// Usage:
+//
+//	ethviz -rank 0 -layout /tmp/eth.layout -algorithm raycast -out frames/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"github.com/ascr-ecx/eth/internal/proxy"
+	"github.com/ascr-ecx/eth/internal/render"
+	"github.com/ascr-ecx/eth/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ethviz: ")
+
+	rank := flag.Int("rank", 0, "this proxy pair's rank")
+	layout := flag.String("layout", "eth.layout", "globally accessible layout file")
+	algorithm := flag.String("algorithm", "raycast",
+		fmt.Sprintf("rendering back-end, one of %v", render.Algorithms()))
+	width := flag.Int("width", 512, "image width")
+	height := flag.Int("height", 512, "image height")
+	images := flag.Int("images", 1, "images rendered per time step (orbiting camera)")
+	colorField := flag.String("field", "", "scalar field for colormapping (default per workload)")
+	iso := flag.Float64("iso", 0, "isovalue for isosurface algorithms (0 = sliding sweep)")
+	out := flag.String("out", "", "directory for PNG artifacts (empty = discard)")
+	timeout := flag.Duration("timeout", 30*time.Second, "rendezvous timeout")
+	ops := flag.String("ops", "", "comma-separated in-situ analysis operations (halos, stats, save)")
+	flag.Parse()
+
+	operations, err := parseOps(*ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	viz, err := proxy.NewVizProxy(proxy.VizConfig{
+		Rank: *rank, Width: *width, Height: *height,
+		Algorithm: *algorithm,
+		Options: render.Options{
+			ColorField: *colorField,
+			IsoValue:   float32(*iso),
+		},
+		ImagesPerStep: *images,
+		OutDir:        *out,
+		Operations:    operations,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := viz.EnsureOutDir(); err != nil {
+		log.Fatal(err)
+	}
+
+	conn, err := transport.Dial(*layout, *rank, *timeout)
+	if err != nil {
+		log.Fatalf("connecting to simulation proxy: %v", err)
+	}
+	defer conn.Close()
+
+	t0 := time.Now()
+	if err := viz.Receive(conn); err != nil {
+		log.Fatalf("receiving: %v", err)
+	}
+	wall := time.Since(t0)
+	fmt.Printf("rank %d done: %d steps, render %.2fs, wall %.2fs, received %.1f MB\n",
+		*rank, len(viz.Results), viz.TotalRenderTime().Seconds(), wall.Seconds(),
+		float64(conn.BytesReceived)/1e6)
+	for _, r := range viz.Results {
+		fmt.Printf("  step %d: %d elements, %d images, %d primitives, %.3fs\n",
+			r.Step, r.Elements, r.Images, r.Primitives, r.Render.Seconds())
+		for _, op := range r.Ops {
+			fmt.Printf("    %s: %s\n", op.Op, op.Summary)
+		}
+	}
+}
+
+// parseOps builds the analysis-operation list from a comma-separated
+// flag value.
+func parseOps(spec string) ([]proxy.Operation, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []proxy.Operation
+	for _, name := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(name) {
+		case "halos":
+			out = append(out, &proxy.HaloOperation{})
+		case "stats":
+			out = append(out, &proxy.StatsOperation{})
+		case "save":
+			out = append(out, &proxy.SaveOperation{})
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown operation %q (want halos, stats, save)", name)
+		}
+	}
+	return out, nil
+}

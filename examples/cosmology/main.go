@@ -1,0 +1,109 @@
+// Cosmology design-space sweep: the HACC-style study of §VI-A at laptop
+// scale. All three particle algorithms render the same synthetic universe
+// at four spatial-sampling ratios; the sweep reports real wall-clock
+// times, image quality (RMSE against each algorithm's unsampled render),
+// and the modeled paper-scale energy saving — the Table II trade-off,
+// regenerated end to end.
+//
+//	go run ./examples/cosmology
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/ascr-ecx/eth/internal/camera"
+	"github.com/ascr-ecx/eth/internal/core"
+	"github.com/ascr-ecx/eth/internal/cosmo"
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/metrics"
+	"github.com/ascr-ecx/eth/internal/render"
+	"github.com/ascr-ecx/eth/internal/sampling"
+)
+
+const (
+	particles = 300_000
+	imageSize = 384
+)
+
+func main() {
+	params := cosmo.DefaultParams()
+	params.Particles = particles
+	params.Seed = 42
+	cloud, err := cosmo.Generate(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cam := camera.ForBounds(cloud.Bounds())
+	// Pin the color normalization to the full dataset's speed range so
+	// sampled renders stay comparable.
+	speed, err := cloud.Field("speed")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lo, hi := speed.MinMax()
+
+	algorithms := []string{"raycast", "gsplat", "points"}
+	ratios := []float64{1.0, 0.75, 0.5, 0.25}
+
+	tab := metrics.NewTable(
+		fmt.Sprintf("HACC design-space sweep (%d particles, measured on this machine)", particles),
+		"Algorithm", "Ratio", "Render (ms)", "RMSE", "Modeled Energy Saved (%)")
+
+	for _, alg := range algorithms {
+		var reference *fb.Frame
+		fullEnergy := 0.0
+		for _, ratio := range ratios {
+			frame, ms, err := renderSampled(cloud, &cam, alg, ratio, lo, hi)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rmse := 0.0
+			if reference == nil {
+				reference = frame
+			} else if rmse, err = fb.RMSE(reference, frame); err != nil {
+				log.Fatal(err)
+			}
+			modeled, err := core.RunModeled(core.ModeledSpec{
+				Nodes: 400, Algorithm: alg,
+				Elements: 1e9, SamplingRatio: ratio,
+				PixelsPerImage: 1 << 20, ImagesPerStep: 500, TimeSteps: 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if ratio == 1 {
+				fullEnergy = modeled.EnergyJ
+			}
+			tab.AddRow(alg, ratio, ms, rmse, metrics.EnergySavedPct(fullEnergy, modeled.EnergyJ))
+		}
+	}
+	if err := tab.Fprint(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// renderSampled samples the cloud at ratio, renders it with the named
+// algorithm, and returns the frame plus the render time in milliseconds.
+func renderSampled(cloud *data.PointCloud, cam *camera.Camera, alg string, ratio float64, lo, hi float32) (*fb.Frame, float64, error) {
+	sampled, err := sampling.Points(cloud, ratio, sampling.Random, 7)
+	if err != nil {
+		return nil, 0, err
+	}
+	r, err := render.New(alg)
+	if err != nil {
+		return nil, 0, err
+	}
+	frame := fb.New(imageSize, imageSize)
+	t0 := time.Now()
+	if _, err := r.Render(frame, sampled, cam, render.Options{
+		ColorField: "speed",
+		ScalarLo:   lo, ScalarHi: hi,
+	}); err != nil {
+		return nil, 0, err
+	}
+	return frame, float64(time.Since(t0).Microseconds()) / 1000, nil
+}

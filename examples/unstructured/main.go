@@ -1,0 +1,96 @@
+// Unstructured-grid extension: the paper's §VII walks through how a
+// domain scientist extends ETH "for other domains such as unstructured
+// grid". This example does exactly that walk: the asteroid volume is
+// converted to a tetrahedral mesh (as an AMR code's native dump would
+// arrive), partitioned across ranks element-wise, contoured with the
+// unstructured isosurface renderer, and cross-validated against the
+// structured pipeline on the same field.
+//
+//	go run ./examples/unstructured
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ascr-ecx/eth/internal/blast"
+	"github.com/ascr-ecx/eth/internal/camera"
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/render"
+	"github.com/ascr-ecx/eth/internal/vtkio"
+)
+
+func main() {
+	params := blast.SmallParams()
+	params.TimeStep = 3
+	grid, err := blast.Generate(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tets := data.Tetrahedralize(grid)
+	fmt.Printf("converted %dx%dx%d grid -> %d vertices, %d tetrahedra\n",
+		grid.NX, grid.NY, grid.NZ, tets.Count(), tets.Cells())
+
+	// Partition element-wise, as an unstructured code decomposes.
+	pieces := tets.Partition(4)
+	total := 0
+	for i, piece := range pieces {
+		pu := piece.(*data.UnstructuredGrid)
+		total += pu.Cells()
+		fmt.Printf("  rank %d: %d tets, %d vertices\n", i, pu.Cells(), pu.Count())
+	}
+	fmt.Printf("  (all %d cells covered: %v)\n\n", tets.Cells(), total == tets.Cells())
+
+	// Render the same isosurface through both pipelines.
+	cam := camera.ForBounds(grid.Bounds())
+	opt := render.Options{IsoValue: 0.45}
+	structured := fb.New(384, 384)
+	unstructured := fb.New(384, 384)
+
+	rs, err := render.New("vtk-iso")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sStats, err := rs.Render(structured, grid, &cam, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ru, err := render.New("uns-iso")
+	if err != nil {
+		log.Fatal(err)
+	}
+	uStats, err := ru.Render(unstructured, tets, &cam, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rmse, err := fb.RMSE(structured, unstructured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ssim, err := fb.SSIM(structured, unstructured)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("structured   pipeline: %6d triangles in %v\n", sStats.Primitives, sStats.Total())
+	fmt.Printf("unstructured pipeline: %6d triangles in %v\n", uStats.Primitives, uStats.Total())
+	fmt.Printf("cross-validation: RMSE %.4f, SSIM %.4f (identical decomposition -> near-identical images)\n",
+		rmse, ssim)
+
+	for name, frame := range map[string]*fb.Frame{
+		"unstructured_vtk.png": structured,
+		"unstructured_tet.png": unstructured,
+	} {
+		if err := frame.SavePNG(name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", name)
+	}
+
+	// Export the mesh for ParaView.
+	if err := vtkio.ExportLegacyVTKFile("asteroid_tets.vtk", tets, "ETH unstructured export"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote asteroid_tets.vtk (open in ParaView/VisIt)")
+}

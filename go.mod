@@ -1,0 +1,3 @@
+module github.com/ascr-ecx/eth
+
+go 1.22

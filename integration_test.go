@@ -1,0 +1,150 @@
+package eth_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTwoProcessWorkflow drives the paper's §III-C workflow end to end
+// with real OS processes: ethgen exports data, ethsim starts first and
+// registers in the layout file, ethviz connects and renders, artifacts
+// land on disk. This is the acceptance test for the multi-process
+// architecture.
+func TestTwoProcessWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	bin := buildTools(t, dir, "ethgen", "ethsim", "ethviz", "ethrun")
+
+	dataDir := filepath.Join(dir, "data")
+	out, err := exec.Command(bin["ethgen"],
+		"-workload", "hacc", "-particles", "20000", "-steps", "2",
+		"-out", dataDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ethgen: %v\n%s", err, out)
+	}
+	files, _ := filepath.Glob(filepath.Join(dataDir, "*.ethd"))
+	if len(files) != 2 {
+		t.Fatalf("ethgen wrote %d files", len(files))
+	}
+
+	layoutPath := filepath.Join(dir, "eth.layout")
+	framesDir := filepath.Join(dir, "frames")
+
+	const ranks = 2
+	sims := make([]*exec.Cmd, ranks)
+	for r := 0; r < ranks; r++ {
+		sims[r] = exec.Command(bin["ethsim"],
+			"-data", filepath.Join(dataDir, "*.ethd"),
+			"-rank", itoa(r), "-ranks", itoa(ranks),
+			"-layout", layoutPath,
+			"-compress",
+			"-sampling", "0.8")
+		if err := sims[r].Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer func() {
+		for _, s := range sims {
+			if s.Process != nil {
+				s.Process.Kill()
+			}
+		}
+	}()
+
+	vizOut := make([][]byte, ranks)
+	vizErr := make([]error, ranks)
+	done := make(chan int, ranks)
+	for r := 0; r < ranks; r++ {
+		go func(r int) {
+			cmd := exec.Command(bin["ethviz"],
+				"-rank", itoa(r),
+				"-layout", layoutPath,
+				"-algorithm", "gsplat",
+				"-width", "96", "-height", "96",
+				"-images", "2",
+				"-out", framesDir,
+				"-timeout", "20s")
+			vizOut[r], vizErr[r] = cmd.CombinedOutput()
+			done <- r
+		}(r)
+	}
+	deadline := time.After(60 * time.Second)
+	for i := 0; i < ranks; i++ {
+		select {
+		case r := <-done:
+			if vizErr[r] != nil {
+				t.Fatalf("ethviz rank %d: %v\n%s", r, vizErr[r], vizOut[r])
+			}
+			if !strings.Contains(string(vizOut[r]), "2 steps") {
+				t.Errorf("rank %d output: %s", r, vizOut[r])
+			}
+		case <-deadline:
+			t.Fatal("visualization proxies timed out")
+		}
+	}
+	for _, s := range sims {
+		if err := s.Wait(); err != nil {
+			t.Fatalf("ethsim exit: %v", err)
+		}
+	}
+	// 2 ranks x 2 steps x 2 images = 8 artifacts.
+	pngs, _ := filepath.Glob(filepath.Join(framesDir, "*.png"))
+	if len(pngs) != 8 {
+		t.Errorf("artifacts = %d, want 8", len(pngs))
+	}
+}
+
+// TestEthrunSpecFile runs ethrun against a job-layout file (§VII).
+func TestEthrunSpecFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs binaries")
+	}
+	dir := t.TempDir()
+	bin := buildTools(t, dir, "ethrun")
+	spec := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"name": "it",
+		"workload": {"kind": "xrage", "grid": 32, "steps": 1, "seed": 1},
+		"pairs": 2,
+		"coupling": "socket",
+		"algorithm": "ray-iso",
+		"image": {"width": 64, "height": 64, "imagesPerStep": 1}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin["ethrun"], "-spec", spec).CombinedOutput()
+	if err != nil {
+		t.Fatalf("ethrun -spec: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "socket coupling") {
+		t.Errorf("output: %s", out)
+	}
+	if !strings.Contains(string(out), "MB moved") {
+		t.Errorf("output missing interface traffic: %s", out)
+	}
+}
+
+// buildTools compiles the named cmd binaries into dir once per test.
+func buildTools(t *testing.T, dir string, names ...string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", path, "./cmd/"+name)
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		out[name] = path
+	}
+	return out
+}
+
+func itoa(i int) string {
+	return string(rune('0' + i))
+}

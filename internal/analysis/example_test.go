@@ -1,0 +1,36 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"github.com/ascr-ecx/eth/internal/analysis"
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// Find the two planted particle groups with friends-of-friends.
+func ExampleFOF() {
+	cloud := data.NewPointCloud(40)
+	for i := 0; i < 20; i++ {
+		cloud.SetPos(i, vec.New(float64(i%4)*0.1, float64(i/4)*0.1, 0))
+	}
+	for i := 20; i < 40; i++ {
+		j := i - 20
+		cloud.SetPos(i, vec.New(50+float64(j%4)*0.1, 50+float64(j/4)*0.1, 50))
+	}
+	halos, _ := analysis.FOF(cloud, analysis.FOFOptions{LinkLength: 0.5, MinMembers: 5})
+	for _, h := range halos {
+		fmt.Printf("halo %d: %d members\n", h.ID, h.Count)
+	}
+	// Output:
+	// halo 0: 20 members
+	// halo 1: 20 members
+}
+
+// Summarize a field in one pass.
+func ExampleStats() {
+	st := analysis.Stats([]float32{2, 4, 4, 4, 5, 5, 7, 9})
+	fmt.Printf("mean %.1f, min %.0f, max %.0f\n", st.Mean, st.Min, st.Max)
+	// Output:
+	// mean 5.0, min 2, max 9
+}

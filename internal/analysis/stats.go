@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+)
+
+// FieldStats summarizes a scalar field — the minimal in-situ statistics
+// extract (min/max/mean/stddev) a monitoring pipeline ships instead of
+// raw arrays.
+type FieldStats struct {
+	Count    int
+	Min, Max float64
+	Mean     float64
+	Std      float64
+}
+
+// Stats computes streaming single-pass statistics over values using
+// Welford's algorithm (numerically stable for long runs).
+func Stats(values []float32) FieldStats {
+	s := FieldStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	var mean, m2 float64
+	for _, raw := range values {
+		v := float64(raw)
+		s.Count++
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		delta := v - mean
+		mean += delta / float64(s.Count)
+		m2 += delta * (v - mean)
+	}
+	if s.Count == 0 {
+		return FieldStats{}
+	}
+	s.Mean = mean
+	if s.Count > 1 {
+		s.Std = math.Sqrt(m2 / float64(s.Count-1))
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s FieldStats) String() string {
+	return fmt.Sprintf("n=%d min=%.4g max=%.4g mean=%.4g std=%.4g",
+		s.Count, s.Min, s.Max, s.Mean, s.Std)
+}
+
+// Histogram bins values into the given number of equal-width bins over
+// [min, max]. It returns the bin lower edges and counts; empty input
+// returns nils.
+func Histogram(values []float32, bins int) (edges []float64, counts []int) {
+	if len(values) == 0 || bins <= 0 {
+		return nil, nil
+	}
+	st := Stats(values)
+	lo, hi := st.Min, st.Max
+	if hi == lo {
+		hi = lo + 1
+	}
+	width := (hi - lo) / float64(bins)
+	edges = make([]float64, bins)
+	counts = make([]int, bins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*width
+	}
+	for _, raw := range values {
+		b := int((float64(raw) - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return edges, counts
+}

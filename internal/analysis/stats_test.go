@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStatsBasics(t *testing.T) {
+	st := Stats([]float32{1, 2, 3, 4})
+	if st.Count != 4 || st.Min != 1 || st.Max != 4 || st.Mean != 2.5 {
+		t.Errorf("stats = %+v", st)
+	}
+	one := Stats([]float32{7})
+	if one.Std != 0 || one.Mean != 7 {
+		t.Errorf("single-value stats = %+v", one)
+	}
+	if Stats(nil) != (FieldStats{}) {
+		t.Error("empty stats not zero")
+	}
+	if Stats([]float32{1}).String() == "" {
+		t.Error("empty string")
+	}
+}
+
+// Property: Welford matches the naive two-pass computation.
+func TestStatsMatchesTwoPassProperty(t *testing.T) {
+	f := func(vals []float32) bool {
+		for i, v := range vals {
+			if v != v || v > 1e18 || v < -1e18 {
+				vals[i] = 0
+			}
+		}
+		st := Stats(vals)
+		if len(vals) == 0 {
+			return st.Count == 0
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += float64(v)
+		}
+		mean := sum / float64(len(vals))
+		if math.Abs(st.Mean-mean) > 1e-6*(1+math.Abs(mean)) {
+			return false
+		}
+		if len(vals) > 1 {
+			var ss float64
+			for _, v := range vals {
+				d := float64(v) - mean
+				ss += d * d
+			}
+			std := math.Sqrt(ss / float64(len(vals)-1))
+			if math.Abs(st.Std-std) > 1e-5*(1+std) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	vals := []float32{0, 0.1, 0.2, 0.5, 0.9, 1.0}
+	edges, counts := Histogram(vals, 4)
+	if len(edges) != 4 || len(counts) != 4 {
+		t.Fatalf("bins = %d/%d", len(edges), len(counts))
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(vals) {
+		t.Errorf("histogram total = %d", total)
+	}
+	if edges[0] != 0 {
+		t.Errorf("first edge = %v", edges[0])
+	}
+	// Degenerate cases.
+	if e, c := Histogram(nil, 4); e != nil || c != nil {
+		t.Error("empty histogram not nil")
+	}
+	if e, c := Histogram(vals, 0); e != nil || c != nil {
+		t.Error("zero bins not nil")
+	}
+	// Constant field: all values land in bin 0.
+	_, cc := Histogram([]float32{3, 3, 3}, 2)
+	if cc[0] != 3 || cc[1] != 0 {
+		t.Errorf("constant histogram = %v", cc)
+	}
+}

@@ -1,0 +1,154 @@
+package blast
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+func TestGenerateShapeAndFields(t *testing.T) {
+	p := SmallParams()
+	g, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NX != p.NX || g.NY != p.NY || g.NZ != p.NZ {
+		t.Fatalf("dims = %d %d %d", g.NX, g.NY, g.NZ)
+	}
+	for _, name := range []string{"temperature", "density", "pressure"} {
+		if _, err := g.Field(name); err != nil {
+			t.Errorf("field %q missing", name)
+		}
+	}
+	// Longest axis spans the box.
+	if math.Abs(g.Bounds().Size().MaxComp()-p.BoxSize) > 1e-9 {
+		t.Errorf("bounds = %+v, want longest = %v", g.Bounds(), p.BoxSize)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(SmallParams())
+	b, _ := Generate(SmallParams())
+	fa, _ := a.Field("temperature")
+	fb, _ := b.Field("temperature")
+	if !reflect.DeepEqual(fa.Values, fb.Values) {
+		t.Error("generation not deterministic")
+	}
+}
+
+func TestTemperatureNormalized(t *testing.T) {
+	g, _ := Generate(SmallParams())
+	f, _ := g.Field("temperature")
+	lo, hi := f.MinMax()
+	if lo < 0 || hi > 1 {
+		t.Errorf("temperature range [%v, %v] outside [0,1]", lo, hi)
+	}
+	if hi-lo < 0.3 {
+		t.Errorf("temperature dynamic range too small: [%v, %v]", lo, hi)
+	}
+}
+
+func TestIsovaluesIntersectVolume(t *testing.T) {
+	// Every isovalue in the sweep range must have vertices on both sides,
+	// so isosurfaces are non-empty for the experiments.
+	g, _ := Generate(MediumParams())
+	f, _ := g.Field("temperature")
+	for _, iso := range []float32{0.2, 0.35, 0.5, 0.65} {
+		below, above := 0, 0
+		for _, v := range f.Values {
+			if v < iso {
+				below++
+			} else {
+				above++
+			}
+		}
+		if below == 0 || above == 0 {
+			t.Errorf("isovalue %v does not cross the field (below=%d above=%d)", iso, below, above)
+		}
+	}
+}
+
+func TestShockExpandsWithTime(t *testing.T) {
+	// The mean temperature-weighted radius from the impact point must
+	// grow with TimeStep (the blast front expands).
+	radius := func(step int) float64 {
+		p := SmallParams()
+		p.TimeStep = step
+		g, _ := Generate(p)
+		f, _ := g.Field("temperature")
+		impact := vec.New(
+			0.5*g.Spacing.X*float64(g.NX-1),
+			0.38*g.Spacing.Y*float64(g.NY-1),
+			0.5*g.Spacing.Z*float64(g.NZ-1),
+		)
+		var wsum, rsum float64
+		idx := 0
+		for k := 0; k < g.NZ; k++ {
+			for j := 0; j < g.NY; j++ {
+				for i := 0; i < g.NX; i++ {
+					w := float64(f.Values[idx])
+					if w > 0.5 {
+						rsum += w * g.VertexPos(i, j, k).Sub(impact).Len()
+						wsum += w
+					}
+					idx++
+				}
+			}
+		}
+		if wsum == 0 {
+			return 0
+		}
+		return rsum / wsum
+	}
+	r0 := radius(0)
+	r8 := radius(8)
+	if r8 <= r0 {
+		t.Errorf("hot region did not expand: r(0)=%v r(8)=%v", r0, r8)
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	if _, err := Generate(Params{NX: 1, NY: 4, NZ: 4, BoxSize: 1}); err == nil {
+		t.Error("degenerate dim accepted")
+	}
+	if _, err := Generate(Params{NX: 4, NY: 4, NZ: 4, BoxSize: 0}); err == nil {
+		t.Error("zero box accepted")
+	}
+}
+
+func TestProblemSizePresets(t *testing.T) {
+	s, m, l := SmallParams(), MediumParams(), LargeParams()
+	sv := s.NX * s.NY * s.NZ
+	mv := m.NX * m.NY * m.NZ
+	lv := l.NX * l.NY * l.NZ
+	if !(sv < mv && mv < lv) {
+		t.Errorf("presets not ordered: %d %d %d", sv, mv, lv)
+	}
+	// The paper's small->large is a ~27x growth (2x in each of ~3 dims
+	// going small->medium->large in two steps); ours should be >= 10x.
+	if float64(lv)/float64(sv) < 10 {
+		t.Errorf("large/small = %.1f, want >= 10", float64(lv)/float64(sv))
+	}
+}
+
+func TestNoiseBounded(t *testing.T) {
+	f := blastField{box: 10, seed: 7, shockR: 1, impact: vec.New(5, 4, 5)}
+	for i := 0; i < 1000; i++ {
+		p := vec.New(float64(i)*0.37, float64(i)*0.11, float64(i)*0.23)
+		n := f.noise(p)
+		if n < -1.01 || n > 1.01 {
+			t.Fatalf("noise(%v) = %v out of range", p, n)
+		}
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(SmallParams()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

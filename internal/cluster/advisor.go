@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The advisor sweeps the calibrated model over the design space —
+// algorithm x node count x coupling — and ranks configurations, which is
+// the paper's stated purpose in executable form: "helping scientists to
+// make informed choices about how to best couple a simulation code with
+// visualization at extreme scale" (abstract). It answers the what-if
+// questions of §I without touching the real machine.
+
+// AdviseRequest describes the workload to optimize.
+type AdviseRequest struct {
+	// Costs supplies the cost models (nil = DefaultCosts).
+	Costs CostTable
+	// Algorithms to consider (render registry names with cost models).
+	Algorithms []string
+	// NodeCounts to consider.
+	NodeCounts []int
+	// Elements is the dataset size (particles or cells).
+	Elements float64
+	// PixelsPerImage, ImagesPerStep, TimeSteps shape the render load.
+	PixelsPerImage, ImagesPerStep, TimeSteps int
+	// Sim, when non-nil, includes the coupled pipeline (all three
+	// coupling strategies are swept); nil sweeps visualization only.
+	Sim *SimSpec
+	// MaxSeconds, when > 0, drops configurations slower than this —
+	// "I need a frame rate" constraints.
+	MaxSeconds float64
+}
+
+// Candidate is one evaluated configuration.
+type Candidate struct {
+	Algorithm string
+	Nodes     int
+	// Coupling is meaningful only when the request included a SimSpec.
+	Coupling Coupling
+	Coupled  bool
+	Seconds  float64
+	AvgWatts float64
+	EnergyJ  float64
+}
+
+// Label renders the configuration compactly.
+func (c Candidate) Label() string {
+	if c.Coupled {
+		return fmt.Sprintf("%s @ %d nodes, %s", c.Algorithm, c.Nodes, c.Coupling)
+	}
+	return fmt.Sprintf("%s @ %d nodes", c.Algorithm, c.Nodes)
+}
+
+// Advice ranks the evaluated design space.
+type Advice struct {
+	// ByTime and ByEnergy hold all feasible candidates sorted by the
+	// respective objective (ascending).
+	ByTime, ByEnergy []Candidate
+	// Evaluated counts all configurations tried (including infeasible).
+	Evaluated int
+}
+
+// BestTime returns the fastest feasible configuration.
+func (a Advice) BestTime() (Candidate, bool) {
+	if len(a.ByTime) == 0 {
+		return Candidate{}, false
+	}
+	return a.ByTime[0], true
+}
+
+// BestEnergy returns the most energy-frugal feasible configuration.
+func (a Advice) BestEnergy() (Candidate, bool) {
+	if len(a.ByEnergy) == 0 {
+		return Candidate{}, false
+	}
+	return a.ByEnergy[0], true
+}
+
+// Advise sweeps the request's design space on the cluster model.
+func Advise(req AdviseRequest) (Advice, error) {
+	costs := req.Costs
+	if costs == nil {
+		costs = DefaultCosts()
+	}
+	if len(req.Algorithms) == 0 {
+		return Advice{}, fmt.Errorf("cluster: no algorithms to advise on")
+	}
+	if len(req.NodeCounts) == 0 {
+		return Advice{}, fmt.Errorf("cluster: no node counts to advise on")
+	}
+	var out Advice
+	add := func(c Candidate) {
+		out.Evaluated++
+		if req.MaxSeconds > 0 && c.Seconds > req.MaxSeconds {
+			return
+		}
+		out.ByTime = append(out.ByTime, c)
+	}
+
+	for _, algName := range req.Algorithms {
+		alg, err := costs.Get(algName)
+		if err != nil {
+			return Advice{}, err
+		}
+		for _, nodes := range req.NodeCounts {
+			job := Job{
+				Algorithm:      alg,
+				Elements:       req.Elements,
+				PixelsPerImage: req.PixelsPerImage,
+				ImagesPerStep:  req.ImagesPerStep,
+				TimeSteps:      req.TimeSteps,
+			}
+			cfg := Hikari(nodes)
+			if req.Sim == nil {
+				r, err := Simulate(cfg, job)
+				if err != nil {
+					return Advice{}, err
+				}
+				add(Candidate{
+					Algorithm: algName, Nodes: nodes,
+					Seconds: r.Seconds, AvgWatts: r.AvgWatts, EnergyJ: r.EnergyJ,
+				})
+				continue
+			}
+			for _, cpl := range Couplings() {
+				if cpl == Internode && nodes < 2 {
+					continue
+				}
+				r, err := SimulateCoupled(cfg, job, *req.Sim, cpl)
+				if err != nil {
+					return Advice{}, err
+				}
+				add(Candidate{
+					Algorithm: algName, Nodes: nodes,
+					Coupling: cpl, Coupled: true,
+					Seconds: r.Seconds, AvgWatts: r.AvgWatts, EnergyJ: r.EnergyJ,
+				})
+			}
+		}
+	}
+	out.ByEnergy = append([]Candidate(nil), out.ByTime...)
+	sort.SliceStable(out.ByTime, func(i, j int) bool {
+		return out.ByTime[i].Seconds < out.ByTime[j].Seconds
+	})
+	sort.SliceStable(out.ByEnergy, func(i, j int) bool {
+		return out.ByEnergy[i].EnergyJ < out.ByEnergy[j].EnergyJ
+	})
+	return out, nil
+}

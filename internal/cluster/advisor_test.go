@@ -1,0 +1,152 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func haccAdvise() AdviseRequest {
+	return AdviseRequest{
+		Algorithms:     []string{"raycast", "gsplat", "points"},
+		NodeCounts:     []int{100, 200, 400},
+		Elements:       1e9,
+		PixelsPerImage: 1 << 20,
+		ImagesPerStep:  500,
+		TimeSteps:      1,
+	}
+}
+
+func TestAdviseRanksConfigurations(t *testing.T) {
+	adv, err := Advise(haccAdvise())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Evaluated != 9 {
+		t.Errorf("evaluated %d, want 9", adv.Evaluated)
+	}
+	if len(adv.ByTime) != 9 || len(adv.ByEnergy) != 9 {
+		t.Fatalf("rankings incomplete: %d / %d", len(adv.ByTime), len(adv.ByEnergy))
+	}
+	// Orderings ascend.
+	for i := 1; i < len(adv.ByTime); i++ {
+		if adv.ByTime[i].Seconds < adv.ByTime[i-1].Seconds {
+			t.Fatal("ByTime not sorted")
+		}
+		if adv.ByEnergy[i].EnergyJ < adv.ByEnergy[i-1].EnergyJ {
+			t.Fatal("ByEnergy not sorted")
+		}
+	}
+	// gsplat dominates HACC (Table I), so the winner on both axes uses it.
+	bt, ok := adv.BestTime()
+	if !ok || bt.Algorithm != "gsplat" {
+		t.Errorf("best time = %+v, want gsplat", bt)
+	}
+	be, ok := adv.BestEnergy()
+	if !ok || be.Algorithm != "gsplat" {
+		t.Errorf("best energy = %+v, want gsplat", be)
+	}
+	// Energy winner uses fewer or equal nodes than time winner (Fig 10:
+	// smaller allocations save energy).
+	if be.Nodes > bt.Nodes {
+		t.Errorf("energy winner uses %d nodes > time winner %d", be.Nodes, bt.Nodes)
+	}
+}
+
+func TestAdviseMaxSecondsConstraint(t *testing.T) {
+	req := haccAdvise()
+	unconstrained, err := Advise(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowest := unconstrained.ByTime[len(unconstrained.ByTime)-1].Seconds
+	fastest := unconstrained.ByTime[0].Seconds
+
+	req.MaxSeconds = (fastest + slowest) / 2
+	constrained, err := Advise(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(constrained.ByTime) >= len(unconstrained.ByTime) {
+		t.Error("constraint dropped nothing")
+	}
+	for _, c := range constrained.ByTime {
+		if c.Seconds > req.MaxSeconds {
+			t.Fatalf("infeasible candidate survived: %v", c)
+		}
+	}
+	// Impossible constraint: empty advice, no winner.
+	req.MaxSeconds = 0.001
+	empty, err := Advise(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := empty.BestTime(); ok {
+		t.Error("winner from empty feasible set")
+	}
+}
+
+func TestAdviseCoupled(t *testing.T) {
+	req := haccAdvise()
+	req.NodeCounts = []int{400}
+	req.Algorithms = []string{"gsplat"}
+	req.Sim = &SimSpec{SecondsPerStep: 120, RefNodes: 400, BytesPerStep: 3.2e10, Utilization: 0.5}
+	req.TimeSteps = 4
+	adv, err := Advise(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Evaluated != 3 {
+		t.Errorf("evaluated %d, want 3 couplings", adv.Evaluated)
+	}
+	best, ok := adv.BestTime()
+	if !ok || best.Coupling != Intercore {
+		t.Errorf("best coupled config = %+v, want intercore (Finding 6)", best)
+	}
+	if !strings.Contains(best.Label(), "intercore") {
+		t.Errorf("label = %q", best.Label())
+	}
+}
+
+func TestAdviseValidation(t *testing.T) {
+	if _, err := Advise(AdviseRequest{NodeCounts: []int{4}}); err == nil {
+		t.Error("no algorithms accepted")
+	}
+	if _, err := Advise(AdviseRequest{Algorithms: []string{"gsplat"}}); err == nil {
+		t.Error("no node counts accepted")
+	}
+	req := haccAdvise()
+	req.Algorithms = []string{"warp-drive"}
+	if _, err := Advise(req); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestAdviseXRAGECrossover(t *testing.T) {
+	// The advisor must rediscover Finding 7: at low node counts vtk wins,
+	// at high node counts raycast wins.
+	base := AdviseRequest{
+		Algorithms:     []string{"vtk-iso", "ray-iso"},
+		Elements:       1840 * 1120 * 960,
+		PixelsPerImage: 1 << 20,
+		ImagesPerStep:  100,
+		TimeSteps:      1,
+	}
+	low := base
+	low.NodeCounts = []int{16}
+	high := base
+	high.NodeCounts = []int{216}
+	lowAdv, err := Advise(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	highAdv, err := Advise(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt, _ := lowAdv.BestTime(); bt.Algorithm != "vtk-iso" {
+		t.Errorf("at 16 nodes best = %s, want vtk-iso", bt.Algorithm)
+	}
+	if bt, _ := highAdv.BestTime(); bt.Algorithm != "ray-iso" {
+		t.Errorf("at 216 nodes best = %s, want ray-iso", bt.Algorithm)
+	}
+}

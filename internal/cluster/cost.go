@@ -1,0 +1,302 @@
+// Package cluster models ETH experiments at supercomputer scale. The
+// paper runs on Hikari — 432 Apollo 8000 nodes with rack-level power
+// metering — which we cannot use; instead this package provides a
+// parametric performance-and-power model whose per-algorithm cost
+// structures encode the asymptotics of the real kernels in this
+// repository (O(N) geometry extraction, O(N log N) BVH builds, ray costs
+// sub-linear in N) and whose coefficients are calibrated per DESIGN.md §5
+// against the paper's published runtimes. Laptop-scale renders exercise
+// the real kernels; the cluster model extrapolates their cost structure
+// to paper-scale node counts so the benches regenerate every table and
+// figure's *shape*.
+package cluster
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ascr-ecx/eth/internal/compositing"
+)
+
+// AlgorithmCost is the parametric per-rank cost structure of one
+// rendering algorithm.
+type AlgorithmCost struct {
+	// Name matches the render registry name.
+	Name string
+
+	// Setup is charged once per time step (acceleration-structure build).
+	// Cost in ns = SetupNsPerElem * localElems * (log2(localElems) if
+	// SetupLogN).
+	SetupNsPerElem float64
+	SetupLogN      bool
+
+	// Per-image element costs (geometry extraction + rasterization):
+	// ns = ScanNsPerElem * localElems            (cell/point scan)
+	//    + SurfNsPerElem * localElems^SurfExp    (generated geometry)
+	ScanNsPerElem float64
+	SurfNsPerElem float64
+	SurfExp       float64
+
+	// Per-image ray costs:
+	// ns = localRays * (RayNsBase + RayNsMarch * marchElems^MarchExp).
+	// When RayWorkDivides is true the image's rays divide across nodes
+	// and marching depth follows the global element count (volume
+	// kernels: each rank marches only the rays crossing its slab); when
+	// false every rank traces all rays against its local structure
+	// (sphere BVH), which is why particle raycasting strong-scales poorly
+	// (Fig 10) while volume raycasting strong-scales well (Fig 15).
+	RayNsBase      float64
+	RayNsMarch     float64
+	MarchExp       float64
+	RayWorkDivides bool
+
+	// ContentionNs scales the geometry pipelines' shared-resource
+	// contention — the effect the paper conjectures for VTK's degradation
+	// past ~64 nodes (Finding 7). Charged per image as
+	// ContentionNs * nodes * sampledElems^0.8 nanoseconds: it grows with
+	// both parallelism (more ranks funneling into shared resources) and
+	// data volume (more extracted geometry contending). The exponent is
+	// an empirical fit that jointly reproduces Figs 13 and 15.
+	// Zero for the raycasting pipelines.
+	ContentionNs float64
+
+	// Compositing selects the image-merge schedule charged per image.
+	Compositing compositing.Algorithm
+
+	// Efficiency is intra-node parallel efficiency in (0, 1].
+	Efficiency float64
+
+	// SerialPerImage is the per-image serial overhead in seconds
+	// (camera setup, encoding, output).
+	SerialPerImage float64
+
+	// RaysDominateUtil selects which unit drives node utilization: rays
+	// (true, for raycasting — sampling does not idle the cores) or
+	// elements (false, for geometry pipelines — Fig 9b vs Fig 14b).
+	RaysDominateUtil bool
+	// SaturationPerCore is the per-core unit load (elements or rays,
+	// per RaysDominateUtil) at which the node reaches peak utilization.
+	SaturationPerCore float64
+	// UtilShape is the exponent of the utilization falloff below
+	// saturation, in (0, 1]; Fig 9b's 39% dynamic-power drop at ratio
+	// 0.25 corresponds to shape 0.35 (0.25^0.35 ~= 0.62).
+	UtilShape float64
+	// UtilFloor is the minimum utilization while computing.
+	UtilFloor float64
+	// UtilCap is the peak utilization. Hikari's HVDC metering shows busy
+	// HACC nodes at ~139 W (Table I: 55.5 kW / 400 nodes), i.e. these
+	// memory-bound pipelines never pull full TDP; the cap encodes that.
+	UtilCap float64
+}
+
+// Validate reports configuration errors.
+func (a AlgorithmCost) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("cluster: algorithm cost has no name")
+	}
+	if a.Efficiency <= 0 || a.Efficiency > 1 {
+		return fmt.Errorf("cluster: %s efficiency %v outside (0,1]", a.Name, a.Efficiency)
+	}
+	if a.UtilShape <= 0 || a.UtilShape > 1 {
+		return fmt.Errorf("cluster: %s util shape %v outside (0,1]", a.Name, a.UtilShape)
+	}
+	if a.UtilCap <= 0 || a.UtilCap > 1 {
+		return fmt.Errorf("cluster: %s util cap %v outside (0,1]", a.Name, a.UtilCap)
+	}
+	if a.UtilFloor < 0 || a.UtilFloor > a.UtilCap {
+		return fmt.Errorf("cluster: %s util floor %v outside [0, cap]", a.Name, a.UtilFloor)
+	}
+	return nil
+}
+
+// CostTable maps algorithm names to their cost models.
+type CostTable map[string]AlgorithmCost
+
+// Get returns the cost model for name.
+func (t CostTable) Get(name string) (AlgorithmCost, error) {
+	c, ok := t[name]
+	if !ok {
+		return AlgorithmCost{}, fmt.Errorf("cluster: no cost model for algorithm %q", name)
+	}
+	return c, nil
+}
+
+// DefaultCosts returns the calibrated cost table. Coefficient provenance
+// (DESIGN.md §5):
+//
+//   - Structural forms (which terms exist, their exponents) come from the
+//     real kernels in internal/geom and internal/rt.
+//   - Magnitudes are effective per-unit costs inferred from the paper's
+//     published runtimes (they fold framework overheads the paper's VTK/
+//     OSPRay stack pays into the coefficients): Table I's 464.4 / 171.9 /
+//     268.7 s for 1e9 particles on 400 nodes with 500 images, and the
+//     xRAGE figures' ratios (Fig 12 ordering, Fig 13's 5.8x vs 1.35x
+//     growth, Fig 15's crossover at 64 nodes).
+//   - The paper attributes gsplat beating points to "a superior
+//     implementation" of the splatter — an implementation property, which
+//     is exactly what coefficient (not structural) calibration encodes.
+func DefaultCosts() CostTable {
+	return CostTable{
+		// --- HACC / particle algorithms (Table I: 464.4 / 171.9 / 268.7 s
+		// for 1e9 particles, 400 nodes, 500 images) ---
+		"raycast": {
+			Name:           "raycast",
+			SetupNsPerElem: 61_800, SetupLogN: true, // BVH build dominates raycast's extra cost (Finding 1)
+			RayNsBase:  5_000,
+			RayNsMarch: 1_100, MarchExp: 0.12, // ~log-depth BVH traversal term
+			RayWorkDivides:    false,
+			Compositing:       compositing.BinarySwap,
+			Efficiency:        0.9,
+			SerialPerImage:    0.06,
+			RaysDominateUtil:  true,
+			SaturationPerCore: 20_000,
+			UtilShape:         0.35,
+			UtilFloor:         0.05,
+			UtilCap:           0.28,
+		},
+		"gsplat": {
+			Name:              "gsplat",
+			ScanNsPerElem:     1_272,
+			ContentionNs:      0.0216,
+			Compositing:       compositing.BinarySwap,
+			Efficiency:        0.92,
+			SerialPerImage:    0.06,
+			SaturationPerCore: 104_000,
+			UtilShape:         0.35,
+			UtilFloor:         0.05,
+			UtilCap:           0.285, // marginally above the others (Table I: 55.3 vs 55.2 kW)
+		},
+		"points": {
+			Name:              "points",
+			ScanNsPerElem:     2_985,
+			ContentionNs:      0.0216,
+			Compositing:       compositing.BinarySwap,
+			Efficiency:        0.92,
+			SerialPerImage:    0.06,
+			SaturationPerCore: 104_000,
+			UtilShape:         0.35,
+			UtilFloor:         0.05,
+			UtilCap:           0.28,
+		},
+
+		// --- xRAGE / volume algorithms (Fig 12 ordering; Fig 13's 5.8x vs
+		// 1.35x growth; Fig 15's crossover at 64 nodes) ---
+		"vtk-iso": {
+			Name:          "vtk-iso",
+			ScanNsPerElem: 1.1,
+			SurfNsPerElem: 40_000, SurfExp: 2.0 / 3.0,
+			ContentionNs:      0.0216,
+			Compositing:       compositing.BinarySwap,
+			Efficiency:        0.85,
+			SerialPerImage:    0.0175,
+			SaturationPerCore: 4_000,
+			UtilShape:         0.5,
+			UtilFloor:         0.05,
+			UtilCap:           0.22, // paper: VTK draws less power than raycasting (Fig 12b)
+		},
+		"ray-iso": {
+			Name:       "ray-iso",
+			RayNsBase:  170_220,
+			RayNsMarch: 103, MarchExp: 1.0 / 3.0, // march ~ N^(1/3); early exit keeps the weight small
+			RayWorkDivides:    true,
+			Compositing:       compositing.BinarySwap,
+			Efficiency:        0.9,
+			SerialPerImage:    0.0175,
+			RaysDominateUtil:  true,
+			SaturationPerCore: 150,
+			UtilShape:         0.5,
+			UtilFloor:         0.05,
+			UtilCap:           0.30,
+		},
+		"vtk-slice": {
+			Name:          "vtk-slice",
+			ScanNsPerElem: 0.9,
+			SurfNsPerElem: 15_000, SurfExp: 2.0 / 3.0,
+			ContentionNs:      0.0216,
+			Compositing:       compositing.BinarySwap,
+			Efficiency:        0.85,
+			SerialPerImage:    0.0175,
+			SaturationPerCore: 4_000,
+			UtilShape:         0.5,
+			UtilFloor:         0.05,
+			UtilCap:           0.22,
+		},
+		"ray-slice": {
+			Name:              "ray-slice",
+			RayNsBase:         60_000,
+			RayWorkDivides:    true,
+			Compositing:       compositing.BinarySwap,
+			Efficiency:        0.9,
+			SerialPerImage:    0.0175,
+			RaysDominateUtil:  true,
+			SaturationPerCore: 150,
+			UtilShape:         0.5,
+			UtilFloor:         0.05,
+			UtilCap:           0.30,
+		},
+	}
+}
+
+// contentionSeconds returns the per-image shared-resource contention time
+// (see the ContentionNs field).
+func (a AlgorithmCost) contentionSeconds(nodes int, sampledElems float64) float64 {
+	if a.ContentionNs == 0 || sampledElems <= 0 {
+		return 0
+	}
+	return a.ContentionNs * float64(nodes) * math.Pow(sampledElems, 0.8) / 1e9
+}
+
+// setupSeconds returns the per-step setup time for one node holding
+// localElems elements, using cores worker cores.
+func (a AlgorithmCost) setupSeconds(localElems float64, cores int) float64 {
+	if a.SetupNsPerElem == 0 || localElems <= 0 {
+		return 0
+	}
+	work := a.SetupNsPerElem * localElems
+	if a.SetupLogN {
+		work *= math.Max(math.Log2(localElems), 1)
+	}
+	return work / 1e9 / (float64(cores) * a.Efficiency)
+}
+
+// imageComputeSeconds returns the per-image compute time for one node,
+// excluding compositing and contention. localElems is the node's element
+// share; globalElems the whole dataset's; rays the image's pixel count;
+// nodes the job's node count.
+func (a AlgorithmCost) imageComputeSeconds(localElems, globalElems, rays float64, nodes, cores int) float64 {
+	work := a.ScanNsPerElem * localElems
+	if a.SurfNsPerElem > 0 && localElems > 0 {
+		work += a.SurfNsPerElem * math.Pow(localElems, a.SurfExp)
+	}
+	if a.RayNsBase > 0 || a.RayNsMarch > 0 {
+		localRays := rays
+		marchElems := localElems
+		if a.RayWorkDivides {
+			localRays = rays / float64(nodes)
+			marchElems = globalElems
+		}
+		perRay := a.RayNsBase
+		if a.RayNsMarch > 0 && marchElems > 0 {
+			perRay += a.RayNsMarch * math.Pow(marchElems, a.MarchExp)
+		}
+		work += localRays * perRay
+	}
+	return work/1e9/(float64(cores)*a.Efficiency) + a.SerialPerImage
+}
+
+// utilization returns the node utilization while computing, given the
+// per-core unit load (elements or rays per RaysDominateUtil).
+func (a AlgorithmCost) utilization(unitsPerCore float64) float64 {
+	if a.SaturationPerCore <= 0 {
+		return a.UtilCap
+	}
+	frac := unitsPerCore / a.SaturationPerCore
+	if frac >= 1 {
+		return a.UtilCap
+	}
+	u := a.UtilCap * math.Pow(frac, a.UtilShape)
+	if u < a.UtilFloor {
+		u = a.UtilFloor
+	}
+	return u
+}

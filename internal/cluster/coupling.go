@@ -1,0 +1,240 @@
+package cluster
+
+import (
+	"fmt"
+
+	"github.com/ascr-ecx/eth/internal/power"
+)
+
+// Coupling enumerates the paper's three sim-viz coupling strategies
+// (§IV-B).
+type Coupling uint8
+
+const (
+	// Tight merges simulation and visualization into one process: no
+	// transfer cost, but the merged process pays an interference penalty
+	// (shared caches, allocator, and memory bandwidth).
+	Tight Coupling = iota
+	// Intercore time-shares the same nodes between two processes that
+	// alternate; data crosses a loopback socket (memory-speed copy).
+	Intercore
+	// Internode space-shares: simulation on half the nodes,
+	// visualization on the other half; data crosses the network and the
+	// synchronous dataset/ack protocol serializes the stages.
+	Internode
+)
+
+// String implements fmt.Stringer.
+func (c Coupling) String() string {
+	switch c {
+	case Tight:
+		return "tight"
+	case Intercore:
+		return "intercore"
+	case Internode:
+		return "internode"
+	default:
+		return fmt.Sprintf("coupling(%d)", uint8(c))
+	}
+}
+
+// Couplings lists all strategies in presentation order.
+func Couplings() []Coupling { return []Coupling{Tight, Intercore, Internode} }
+
+// SimSpec models the simulation proxy's per-step behaviour.
+type SimSpec struct {
+	// SecondsPerStep is the simulation compute time per step when run on
+	// RefNodes nodes; it scales linearly with allocated nodes (the proxy
+	// reads and prepares data in parallel).
+	SecondsPerStep float64
+	// RefNodes is the allocation SecondsPerStep was measured at.
+	RefNodes int
+	// BytesPerStep is the dataset payload handed to visualization each
+	// step.
+	BytesPerStep float64
+	// Utilization is the sim proxy's node utilization while computing.
+	Utilization float64
+}
+
+// Validate reports spec errors.
+func (s SimSpec) Validate() error {
+	if s.SecondsPerStep < 0 || s.RefNodes <= 0 {
+		return fmt.Errorf("cluster: bad sim spec (seconds %v, ref nodes %d)", s.SecondsPerStep, s.RefNodes)
+	}
+	if s.BytesPerStep < 0 {
+		return fmt.Errorf("cluster: negative sim payload")
+	}
+	return nil
+}
+
+// simSeconds returns per-step sim time on n nodes.
+func (s SimSpec) simSeconds(n int) float64 {
+	return s.SecondsPerStep * float64(s.RefNodes) / float64(n)
+}
+
+// tightInterference is the modeled slowdown of both components when they
+// share one process image: cache, allocator, and bandwidth interference.
+// The paper's Finding 6 (intercore beats tight) implies this penalty
+// exceeds loopback transfer cost for HACC-scale payloads.
+const tightInterference = 0.10
+
+// loopbackBandwidth is the per-node memory-copy bandwidth for socket
+// transfer between co-resident processes.
+const loopbackBandwidth = 8e9
+
+// CoupledResult extends Result with coupling-phase breakdown.
+type CoupledResult struct {
+	Result
+	// SimSeconds and TransferSeconds break out the non-visualization
+	// phases per run.
+	SimSeconds, TransferSeconds float64
+	// Coupling echoes the strategy.
+	Coupling Coupling
+}
+
+// SimulateCoupled models a full sim+viz pipeline under the given coupling
+// strategy. job describes the visualization workload (its Nodes share
+// comes from cfg per strategy); sim describes the simulation proxy.
+func SimulateCoupled(cfg Config, job Job, sim SimSpec, coupling Coupling) (CoupledResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return CoupledResult{}, err
+	}
+	if err := sim.Validate(); err != nil {
+		return CoupledResult{}, err
+	}
+
+	switch coupling {
+	case Tight, Intercore:
+		return simulateShared(cfg, job, sim, coupling)
+	case Internode:
+		return simulateInternode(cfg, job, sim)
+	default:
+		return CoupledResult{}, fmt.Errorf("cluster: unknown coupling %d", coupling)
+	}
+}
+
+// simulateShared models tight and intercore coupling: both components use
+// every node, alternating in time.
+func simulateShared(cfg Config, job Job, sim SimSpec, coupling Coupling) (CoupledResult, error) {
+	viz, err := Simulate(cfg, job)
+	if err != nil {
+		return CoupledResult{}, err
+	}
+	penalty := 0.0
+	transferPerStep := 0.0
+	if coupling == Tight {
+		penalty = tightInterference
+	} else {
+		// Intercore: loopback socket copy of each node's payload share.
+		transferPerStep = sim.BytesPerStep / float64(cfg.Nodes) / loopbackBandwidth
+	}
+
+	simPerStep := sim.simSeconds(cfg.Nodes) * (1 + penalty)
+	vizSeconds := viz.Seconds * (1 + penalty)
+	steps := float64(job.TimeSteps)
+
+	meter := &power.Meter{}
+	simW := float64(cfg.Nodes) * cfg.Node.Power(sim.Utilization)
+	idleW := float64(cfg.Nodes) * cfg.Node.Power(job.Algorithm.UtilFloor)
+	vizW := float64(cfg.Nodes) * cfg.Node.Power(viz.Utilization)
+
+	meter.Record(steps*simPerStep, simW)
+	meter.Record(steps*transferPerStep, idleW)
+	meter.Record(vizSeconds, vizW)
+
+	return CoupledResult{
+		Result: Result{
+			Seconds:        meter.Duration(),
+			SetupSeconds:   viz.SetupSeconds,
+			ComputeSeconds: viz.ComputeSeconds,
+			CommSeconds:    viz.CommSeconds,
+			AvgWatts:       meter.AverageW(),
+			DynWatts:       meter.AverageW() - float64(cfg.Nodes)*cfg.Node.IdleW,
+			EnergyJ:        meter.EnergyJ(),
+			Utilization:    viz.Utilization,
+			Meter:          meter,
+		},
+		SimSeconds:      steps * simPerStep,
+		TransferSeconds: steps * transferPerStep,
+		Coupling:        coupling,
+	}, nil
+}
+
+// simulateInternode models space sharing: half the nodes simulate, half
+// visualize. ETH's proxy protocol is synchronous (dataset, then ack —
+// §III-C and internal/transport), so a step is strictly
+// sim -> transfer -> viz with no cross-step pipelining; each half idles
+// while the other computes. This is the load-balancing hazard the paper's
+// introduction warns about ("the analysis may wait for the computation
+// and vice versa") and the reason internode loses to intercore in Fig 11.
+func simulateInternode(cfg Config, job Job, sim SimSpec) (CoupledResult, error) {
+	if cfg.Nodes < 2 {
+		return CoupledResult{}, fmt.Errorf("cluster: internode coupling needs >= 2 nodes")
+	}
+	half := cfg.Nodes / 2
+	vizCfg := cfg
+	vizCfg.Nodes = half
+	viz, err := Simulate(vizCfg, job)
+	if err != nil {
+		return CoupledResult{}, err
+	}
+	steps := float64(job.TimeSteps)
+	simPerStep := sim.simSeconds(half)
+	vizPerStep := viz.Seconds / steps
+	// Network transfer: each sim node ships its share to a paired viz
+	// node; links run in parallel.
+	transferPerStep := sim.BytesPerStep / float64(half) / cfg.LinkBandwidth
+
+	stepTime := simPerStep + transferPerStep + vizPerStep
+	total := steps * stepTime
+
+	// Power: while one side computes the other may wait; model each half
+	// independently. The busy half draws compute power for its phase
+	// time, then idles until the step completes.
+	meter := &power.Meter{}
+	simBusyW := float64(half) * cfg.Node.Power(sim.Utilization)
+	vizBusyW := float64(half) * cfg.Node.Power(viz.Utilization)
+	idleHalfW := float64(half) * cfg.Node.Power(job.Algorithm.UtilFloor)
+
+	// Aggregate over the run: sim half busy for steps*simPerStep, idle
+	// for the rest; viz half busy for steps*vizPerStep, idle for rest.
+	simBusy := steps * simPerStep
+	vizBusy := steps * vizPerStep
+	// Record as one blended interval per half (meter integrates energy,
+	// which is what the comparisons consume).
+	meter.Record(simBusy, simBusyW)
+	if total > simBusy {
+		meter.Record(total-simBusy, idleHalfW)
+	}
+	simEnergy := meter.EnergyJ()
+	meter.Reset()
+	meter.Record(vizBusy, vizBusyW)
+	if total > vizBusy {
+		meter.Record(total-vizBusy, idleHalfW)
+	}
+	vizEnergy := meter.EnergyJ()
+
+	energy := simEnergy + vizEnergy
+	avg := energy / total
+
+	// Rebuild a representative meter for sample output.
+	meter.Reset()
+	meter.Record(total, avg)
+
+	return CoupledResult{
+		Result: Result{
+			Seconds:        total,
+			SetupSeconds:   viz.SetupSeconds,
+			ComputeSeconds: viz.ComputeSeconds,
+			CommSeconds:    viz.CommSeconds,
+			AvgWatts:       avg,
+			DynWatts:       avg - float64(cfg.Nodes)*cfg.Node.IdleW,
+			EnergyJ:        energy,
+			Utilization:    viz.Utilization,
+			Meter:          meter,
+		},
+		SimSeconds:      steps * simPerStep,
+		TransferSeconds: steps * transferPerStep,
+		Coupling:        Internode,
+	}, nil
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func haccSim() SimSpec {
+	return SimSpec{
+		SecondsPerStep: 120,
+		RefNodes:       400,
+		BytesPerStep:   1e9 * 32, // 1e9 particles x 32 bytes
+		Utilization:    0.5,
+	}
+}
+
+func couplingJob(t *testing.T) Job {
+	t.Helper()
+	cost, err := DefaultCosts().Get("gsplat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Job{
+		Algorithm:      cost,
+		Elements:       1e9,
+		PixelsPerImage: 1024 * 1024,
+		ImagesPerStep:  500,
+		TimeSteps:      4,
+	}
+}
+
+func TestCouplingNames(t *testing.T) {
+	if Tight.String() != "tight" || Intercore.String() != "intercore" || Internode.String() != "internode" {
+		t.Error("names wrong")
+	}
+	if Coupling(9).String() != "coupling(9)" {
+		t.Error(Coupling(9).String())
+	}
+	if len(Couplings()) != 3 {
+		t.Error("Couplings() incomplete")
+	}
+}
+
+// Fig 11 shape: intercore beats tight and internode on both time and
+// energy for the HACC workload (Finding 6).
+func TestFig11IntercoreWins(t *testing.T) {
+	cfg := Hikari(400)
+	job := couplingJob(t)
+	sim := haccSim()
+	results := map[Coupling]CoupledResult{}
+	for _, c := range Couplings() {
+		r, err := SimulateCoupled(cfg, job, sim, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[c] = r
+		if r.Coupling != c {
+			t.Errorf("result coupling = %v, want %v", r.Coupling, c)
+		}
+	}
+	ic := results[Intercore]
+	if ic.Seconds >= results[Tight].Seconds {
+		t.Errorf("intercore %.0fs not faster than tight %.0fs", ic.Seconds, results[Tight].Seconds)
+	}
+	if ic.Seconds >= results[Internode].Seconds {
+		t.Errorf("intercore %.0fs not faster than internode %.0fs", ic.Seconds, results[Internode].Seconds)
+	}
+	if ic.EnergyJ >= results[Tight].EnergyJ {
+		t.Errorf("intercore energy %.2e not below tight %.2e", ic.EnergyJ, results[Tight].EnergyJ)
+	}
+	if ic.EnergyJ >= results[Internode].EnergyJ {
+		t.Errorf("intercore energy %.2e not below internode %.2e", ic.EnergyJ, results[Internode].EnergyJ)
+	}
+}
+
+func TestCoupledBreakdown(t *testing.T) {
+	cfg := Hikari(100)
+	job := couplingJob(t)
+	sim := haccSim()
+	r, err := SimulateCoupled(cfg, job, sim, Intercore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SimSeconds <= 0 {
+		t.Error("no sim time recorded")
+	}
+	if r.TransferSeconds <= 0 {
+		t.Error("intercore should pay loopback transfer")
+	}
+	tight, _ := SimulateCoupled(cfg, job, sim, Tight)
+	if tight.TransferSeconds != 0 {
+		t.Error("tight coupling should have zero transfer")
+	}
+	inter, err := SimulateCoupled(cfg, job, sim, Internode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inter.TransferSeconds <= 0 {
+		t.Error("internode should pay network transfer")
+	}
+}
+
+func TestCoupledValidation(t *testing.T) {
+	cfg := Hikari(4)
+	job := couplingJob(t)
+	if _, err := SimulateCoupled(cfg, job, SimSpec{RefNodes: 0}, Tight); err == nil {
+		t.Error("bad sim spec accepted")
+	}
+	if _, err := SimulateCoupled(cfg, job, haccSim(), Coupling(42)); err == nil {
+		t.Error("unknown coupling accepted")
+	}
+	one := Hikari(1)
+	if _, err := SimulateCoupled(one, job, haccSim(), Internode); err == nil {
+		t.Error("internode on 1 node accepted")
+	}
+	bad := Config{}
+	if _, err := SimulateCoupled(bad, job, haccSim(), Tight); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestInternodeHalvesVizNodes(t *testing.T) {
+	// Internode runs the viz on half the nodes, so its viz phase should
+	// take roughly as long as a shared run on half the allocation.
+	cfg := Hikari(200)
+	job := couplingJob(t)
+	sim := haccSim()
+	inter, err := SimulateCoupled(cfg, job, sim, Internode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vizHalf, err := Simulate(Hikari(100), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The internode pipeline per-step rate is at least the slower stage.
+	steps := float64(job.TimeSteps)
+	if inter.Seconds < vizHalf.Seconds && inter.Seconds < steps*sim.simSeconds(100) {
+		t.Error("internode faster than both of its stages — impossible")
+	}
+}
+
+func TestCalibrateProducesPositiveCosts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration is a timing measurement")
+	}
+	m := Calibrate(20_000)
+	checks := map[string]float64{
+		"PointScanNs":          m.PointScanNs,
+		"SplatScanNs":          m.SplatScanNs,
+		"BVHBuildNsPerElemLog": m.BVHBuildNsPerElemLog,
+		"SphereRayNs":          m.SphereRayNs,
+		"IsoCellNs":            m.IsoCellNs,
+		"IsoRayNs":             m.IsoRayNs,
+		"SliceRayNs":           m.SliceRayNs,
+	}
+	for name, v := range checks {
+		if v <= 0 {
+			t.Errorf("%s = %v, want positive", name, v)
+		}
+	}
+	costs := m.Costs()
+	for name, c := range costs {
+		if err := c.Validate(); err != nil {
+			t.Errorf("measured cost %s invalid: %v", name, err)
+		}
+	}
+	// Measured mode must still be simulable.
+	job := Job{
+		Algorithm:      costs["gsplat"],
+		Elements:       1e7,
+		PixelsPerImage: 512 * 512,
+		ImagesPerStep:  10,
+		TimeSteps:      1,
+	}
+	if _, err := Simulate(Hikari(16), job); err != nil {
+		t.Error(err)
+	}
+}

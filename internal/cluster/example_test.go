@@ -1,0 +1,47 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"github.com/ascr-ecx/eth/internal/cluster"
+)
+
+// Reproduce one Table I cell: raycasting the 1-billion-particle HACC
+// dataset on 400 Hikari nodes, 500 images per step.
+func ExampleSimulate() {
+	costs := cluster.DefaultCosts()
+	alg, _ := costs.Get("raycast")
+	result, _ := cluster.Simulate(cluster.Hikari(400), cluster.Job{
+		Algorithm:      alg,
+		Elements:       1e9,
+		PixelsPerImage: 1 << 20,
+		ImagesPerStep:  500,
+		TimeSteps:      1,
+	})
+	fmt.Printf("time %.0f s, power %.1f kW\n", result.Seconds, result.AvgWatts/1000)
+	// Output:
+	// time 461 s, power 55.2 kW
+}
+
+// Ask the advisor which coupling strategy to use for a HACC pipeline —
+// it rediscovers the paper's Finding 6.
+func ExampleAdvise() {
+	advice, _ := cluster.Advise(cluster.AdviseRequest{
+		Algorithms:     []string{"gsplat"},
+		NodeCounts:     []int{400},
+		Elements:       1e9,
+		PixelsPerImage: 1 << 20,
+		ImagesPerStep:  500,
+		TimeSteps:      4,
+		Sim: &cluster.SimSpec{
+			SecondsPerStep: 120,
+			RefNodes:       400,
+			BytesPerStep:   3.2e10,
+			Utilization:    0.5,
+		},
+	})
+	best, _ := advice.BestTime()
+	fmt.Println(best.Label())
+	// Output:
+	// gsplat @ 400 nodes, intercore
+}

@@ -1,0 +1,150 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Model sanity properties: whatever the coefficients, a physical model
+// must respect basic monotonicity and bounds. These guard against
+// regressions when the cost table is re-calibrated.
+
+func randomJob(algIdx uint8, elemsRaw, ratioRaw uint16) (Job, bool) {
+	names := []string{"raycast", "gsplat", "points", "vtk-iso", "ray-iso", "vtk-slice", "ray-slice"}
+	alg, err := DefaultCosts().Get(names[int(algIdx)%len(names)])
+	if err != nil {
+		return Job{}, false
+	}
+	elems := 1e6 + float64(elemsRaw)*1e5
+	ratio := 0.05 + float64(ratioRaw%950)/1000
+	return Job{
+		Algorithm:      alg,
+		Elements:       elems,
+		SamplingRatio:  ratio,
+		PixelsPerImage: 1 << 18,
+		ImagesPerStep:  10,
+		TimeSteps:      1,
+	}, true
+}
+
+// Property: power always lies within [allocation idle, allocation max].
+func TestPowerBoundsProperty(t *testing.T) {
+	f := func(algIdx uint8, elemsRaw, ratioRaw uint16, nodesRaw uint8) bool {
+		job, ok := randomJob(algIdx, elemsRaw, ratioRaw)
+		if !ok {
+			return false
+		}
+		nodes := int(nodesRaw)%400 + 1
+		cfg := Hikari(nodes)
+		r, err := Simulate(cfg, job)
+		if err != nil {
+			return false
+		}
+		idle := float64(nodes) * cfg.Node.IdleW
+		max := float64(nodes) * (cfg.Node.IdleW + cfg.Node.DynamicW)
+		return r.AvgWatts >= idle-1e-9 && r.AvgWatts <= max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: time is non-decreasing in data size (same config otherwise).
+func TestTimeMonotoneInElementsProperty(t *testing.T) {
+	f := func(algIdx uint8, elemsRaw, ratioRaw uint16) bool {
+		job, ok := randomJob(algIdx, elemsRaw, ratioRaw)
+		if !ok {
+			return false
+		}
+		cfg := Hikari(64)
+		small, err := Simulate(cfg, job)
+		if err != nil {
+			return false
+		}
+		job.Elements *= 2
+		large, err := Simulate(cfg, job)
+		if err != nil {
+			return false
+		}
+		return large.Seconds >= small.Seconds-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sampling never increases time or energy.
+func TestSamplingMonotoneProperty(t *testing.T) {
+	f := func(algIdx uint8, elemsRaw, ratioRaw uint16) bool {
+		job, ok := randomJob(algIdx, elemsRaw, ratioRaw)
+		if !ok {
+			return false
+		}
+		cfg := Hikari(128)
+		full := job
+		full.SamplingRatio = 1
+		fr, err := Simulate(cfg, full)
+		if err != nil {
+			return false
+		}
+		sr, err := Simulate(cfg, job) // job.SamplingRatio < 1
+		if err != nil {
+			return false
+		}
+		return sr.Seconds <= fr.Seconds+1e-12 && sr.EnergyJ <= fr.EnergyJ+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy identity holds (energy = avg power x time).
+func TestEnergyIdentityProperty(t *testing.T) {
+	f := func(algIdx uint8, elemsRaw, ratioRaw uint16, nodesRaw uint8) bool {
+		job, ok := randomJob(algIdx, elemsRaw, ratioRaw)
+		if !ok {
+			return false
+		}
+		nodes := int(nodesRaw)%300 + 1
+		r, err := Simulate(Hikari(nodes), job)
+		if err != nil {
+			return false
+		}
+		diff := r.EnergyJ - r.AvgWatts*r.Seconds
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 1e-6*(1+r.EnergyJ)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: volume raycasting (work divides) strong-scales — more nodes
+// never slower; geometry pipelines eventually degrade but never at tiny
+// node counts relative to their optimum region's left side.
+func TestDividingAlgorithmsScaleProperty(t *testing.T) {
+	alg, err := DefaultCosts().Get("ray-iso")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{
+		Algorithm:      alg,
+		Elements:       2e9,
+		PixelsPerImage: 1 << 20,
+		ImagesPerStep:  100,
+		TimeSteps:      1,
+	}
+	prev := 0.0
+	for i, nodes := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		r, err := Simulate(Hikari(nodes), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && r.Seconds > prev {
+			t.Fatalf("ray-iso slower at %d nodes (%.3f > %.3f)", nodes, r.Seconds, prev)
+		}
+		prev = r.Seconds
+	}
+}

@@ -1,0 +1,274 @@
+// Package core is the Exploration Test Harness itself — the paper's
+// primary contribution. An experiment names a workload (synthetic HACC or
+// xRAGE data, or exported dumps on disk), a rendering algorithm, a
+// coupling mode, and sampling parameters; the harness executes it in one
+// of two modes:
+//
+//   - Measured: the real pipelines run at laptop scale through the proxy
+//     pair, producing wall-clock times, images, and data-movement counts.
+//   - Modeled: the calibrated cluster model (internal/cluster)
+//     extrapolates the same cost structure to paper-scale node counts,
+//     producing time/power/energy.
+//
+// Parameter sweeps run lists of experiment variants and collect results
+// into metrics tables, which is how cmd/ethbench regenerates every table
+// and figure of the paper.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/ascr-ecx/eth/internal/blast"
+	"github.com/ascr-ecx/eth/internal/cluster"
+	"github.com/ascr-ecx/eth/internal/cosmo"
+	"github.com/ascr-ecx/eth/internal/coupling"
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/proxy"
+	"github.com/ascr-ecx/eth/internal/render"
+	"github.com/ascr-ecx/eth/internal/sampling"
+)
+
+// Workload produces the datasets an experiment replays.
+type Workload struct {
+	// Name labels the workload ("hacc", "xrage", or user-defined).
+	Name string
+	// Steps is the number of time steps.
+	Steps int
+	// Generate produces the dataset for one step.
+	Generate func(step int) (data.Dataset, error)
+}
+
+// Validate reports specification errors.
+func (w Workload) Validate() error {
+	if w.Steps <= 0 {
+		return fmt.Errorf("core: workload %q has no steps", w.Name)
+	}
+	if w.Generate == nil {
+		return fmt.Errorf("core: workload %q has no generator", w.Name)
+	}
+	return nil
+}
+
+// HACCWorkload returns a synthetic cosmology workload with the given
+// particle count (the paper's runs use 0.25-1 billion; laptop-scale
+// experiments use millions).
+func HACCWorkload(particles, steps int, seed int64) Workload {
+	return Workload{
+		Name:  "hacc",
+		Steps: steps,
+		Generate: func(step int) (data.Dataset, error) {
+			p := cosmo.DefaultParams()
+			p.Particles = particles
+			p.Seed = seed
+			p.TimeStep = step
+			return cosmo.Generate(p)
+		},
+	}
+}
+
+// XRAGEWorkload returns a synthetic asteroid-impact volume workload with
+// the given grid dimensions.
+func XRAGEWorkload(nx, ny, nz, steps int, seed int64) Workload {
+	return Workload{
+		Name:  "xrage",
+		Steps: steps,
+		Generate: func(step int) (data.Dataset, error) {
+			p := blast.Params{NX: nx, NY: ny, NZ: nz, BoxSize: 10, Seed: seed, TimeStep: step}
+			return blast.Generate(p)
+		},
+	}
+}
+
+// DiskWorkload replays exported dumps, one file per step — the paper's
+// primary data path (§III-B).
+func DiskWorkload(name string, paths ...string) (Workload, error) {
+	src, err := proxy.NewDiskSource(paths...)
+	if err != nil {
+		return Workload{}, err
+	}
+	return Workload{
+		Name:     name,
+		Steps:    src.Steps(),
+		Generate: src.Step,
+	}, nil
+}
+
+// MeasuredSpec describes a laptop-scale measured experiment.
+type MeasuredSpec struct {
+	// Workload supplies the data.
+	Workload Workload
+	// Algorithm names the rendering back-end.
+	Algorithm string
+	// Width, Height and ImagesPerStep shape the render load.
+	Width, Height, ImagesPerStep int
+	// Ranks is the proxy-pair count (spatial pieces).
+	Ranks int
+	// Mode selects unified or socket coupling.
+	Mode coupling.Mode
+	// LayoutPath is required for socket mode.
+	LayoutPath string
+	// SamplingRatio in (0, 1]; 0 means 1.
+	SamplingRatio float64
+	// SamplingMethod selects the point-sampling strategy.
+	SamplingMethod sampling.Method
+	// Compress enables wire compression in socket mode.
+	Compress bool
+	// Operations are in-situ analysis steps run by every viz proxy.
+	Operations []proxy.Operation
+	// Options carries rendering parameters.
+	Options render.Options
+	// OutDir, when set, receives PNG artifacts.
+	OutDir string
+}
+
+// Validate reports errors.
+func (s MeasuredSpec) Validate() error {
+	if err := s.Workload.Validate(); err != nil {
+		return err
+	}
+	if s.Algorithm == "" {
+		return fmt.Errorf("core: no algorithm")
+	}
+	if s.Width <= 0 || s.Height <= 0 {
+		return fmt.Errorf("core: bad frame size %dx%d", s.Width, s.Height)
+	}
+	if s.Ranks < 0 {
+		return fmt.Errorf("core: negative rank count")
+	}
+	if s.Mode == coupling.Socket && s.LayoutPath == "" {
+		return fmt.Errorf("core: socket mode needs a layout path")
+	}
+	return nil
+}
+
+// MeasuredResult reports a measured run.
+type MeasuredResult struct {
+	// Wall is end-to-end time.
+	Wall time.Duration
+	// RenderTime sums the visualization proxies' render time.
+	RenderTime time.Duration
+	// BytesMoved is the total in-situ interface traffic.
+	BytesMoved int64
+	// Elements is the total element count processed in the last step.
+	Elements int
+	// Frames holds each rank's final frame (rank order).
+	Frames []*fb.Frame
+	// Reports are the raw per-pair reports.
+	Reports []coupling.Report
+}
+
+// RunMeasured executes the spec with real pipelines.
+func RunMeasured(spec MeasuredSpec) (MeasuredResult, error) {
+	if err := spec.Validate(); err != nil {
+		return MeasuredResult{}, err
+	}
+	ranks := spec.Ranks
+	if ranks <= 0 {
+		ranks = 1
+	}
+	// Pre-generate steps once and share across rank proxies (the disk
+	// data is the same file for every rank in the paper's design).
+	datasets := make([]data.Dataset, spec.Workload.Steps)
+	for s := range datasets {
+		ds, err := spec.Workload.Generate(s)
+		if err != nil {
+			return MeasuredResult{}, fmt.Errorf("core: generating step %d: %w", s, err)
+		}
+		datasets[s] = ds
+	}
+
+	pairs := make([]coupling.PairSpec, ranks)
+	for r := 0; r < ranks; r++ {
+		sim, err := proxy.NewSimProxy(proxy.SimConfig{
+			Rank: r, Ranks: ranks,
+			SamplingRatio:  spec.SamplingRatio,
+			SamplingMethod: spec.SamplingMethod,
+			Seed:           int64(r) + 1,
+			Compress:       spec.Compress,
+		}, &proxy.MemSource{Data: datasets})
+		if err != nil {
+			return MeasuredResult{}, err
+		}
+		viz, err := proxy.NewVizProxy(proxy.VizConfig{
+			Rank: r, Width: spec.Width, Height: spec.Height,
+			Algorithm:     spec.Algorithm,
+			Options:       spec.Options,
+			ImagesPerStep: spec.ImagesPerStep,
+			OutDir:        spec.OutDir,
+			Operations:    spec.Operations,
+		})
+		if err != nil {
+			return MeasuredResult{}, err
+		}
+		pairs[r] = coupling.PairSpec{Sim: sim, Viz: viz}
+	}
+
+	t0 := time.Now()
+	reports, err := coupling.RunPairs(pairs, spec.Mode, spec.LayoutPath)
+	if err != nil {
+		return MeasuredResult{}, err
+	}
+	res := MeasuredResult{
+		Wall:    time.Since(t0),
+		Reports: reports,
+	}
+	for _, rep := range reports {
+		res.BytesMoved += rep.BytesMoved
+		res.RenderTime += rep.Viz.TotalRenderTime()
+		if n := len(rep.Viz.Results); n > 0 {
+			res.Elements += rep.Viz.Results[n-1].Elements
+			res.Frames = append(res.Frames, rep.Viz.Results[n-1].LastFrame)
+		}
+	}
+	return res, nil
+}
+
+// ModeledSpec describes a paper-scale modeled experiment.
+type ModeledSpec struct {
+	// Nodes is the allocation size.
+	Nodes int
+	// Algorithm names the cost model (render registry name).
+	Algorithm string
+	// Costs supplies cost models; nil selects cluster.DefaultCosts().
+	Costs cluster.CostTable
+	// Elements is the dataset size (particles or cells).
+	Elements float64
+	// SamplingRatio in (0, 1]; 0 means 1.
+	SamplingRatio float64
+	// PixelsPerImage, ImagesPerStep, TimeSteps shape the render load.
+	PixelsPerImage, ImagesPerStep, TimeSteps int
+	// Coupling, when CoupledSim is non-nil, models the full pipeline.
+	Coupling   cluster.Coupling
+	CoupledSim *cluster.SimSpec
+}
+
+// RunModeled executes the spec on the cluster model.
+func RunModeled(spec ModeledSpec) (cluster.Result, error) {
+	costs := spec.Costs
+	if costs == nil {
+		costs = cluster.DefaultCosts()
+	}
+	alg, err := costs.Get(spec.Algorithm)
+	if err != nil {
+		return cluster.Result{}, err
+	}
+	job := cluster.Job{
+		Algorithm:      alg,
+		Elements:       spec.Elements,
+		SamplingRatio:  spec.SamplingRatio,
+		PixelsPerImage: spec.PixelsPerImage,
+		ImagesPerStep:  spec.ImagesPerStep,
+		TimeSteps:      spec.TimeSteps,
+	}
+	cfg := cluster.Hikari(spec.Nodes)
+	if spec.CoupledSim != nil {
+		r, err := cluster.SimulateCoupled(cfg, job, *spec.CoupledSim, spec.Coupling)
+		if err != nil {
+			return cluster.Result{}, err
+		}
+		return r.Result, nil
+	}
+	return cluster.Simulate(cfg, job)
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/ascr-ecx/eth/internal/cluster"
+	"github.com/ascr-ecx/eth/internal/coupling"
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/vtkio"
+)
+
+func haccSpec() MeasuredSpec {
+	return MeasuredSpec{
+		Workload:      HACCWorkload(5000, 2, 7),
+		Algorithm:     "points",
+		Width:         48,
+		Height:        48,
+		ImagesPerStep: 2,
+		Ranks:         2,
+	}
+}
+
+func TestRunMeasuredHACC(t *testing.T) {
+	res, err := RunMeasured(haccSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Wall <= 0 || res.RenderTime <= 0 {
+		t.Error("no time recorded")
+	}
+	if res.Elements == 0 {
+		t.Error("no elements recorded")
+	}
+	if len(res.Frames) != 2 {
+		t.Errorf("frames = %d", len(res.Frames))
+	}
+	if res.BytesMoved != 0 {
+		t.Error("unified mode moved bytes")
+	}
+}
+
+func TestRunMeasuredSocketMode(t *testing.T) {
+	spec := haccSpec()
+	spec.Mode = coupling.Socket
+	spec.LayoutPath = filepath.Join(t.TempDir(), "layout")
+	res, err := RunMeasured(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BytesMoved == 0 {
+		t.Error("socket mode moved no bytes")
+	}
+}
+
+func TestRunMeasuredXRAGE(t *testing.T) {
+	spec := MeasuredSpec{
+		Workload:      XRAGEWorkload(24, 16, 16, 1, 3),
+		Algorithm:     "ray-iso",
+		Width:         48,
+		Height:        48,
+		ImagesPerStep: 1,
+		Ranks:         1,
+	}
+	res, err := RunMeasured(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames[0].CoveredPixels() == 0 {
+		t.Error("xrage render empty")
+	}
+}
+
+func TestRunMeasuredSampling(t *testing.T) {
+	full := haccSpec()
+	fullRes, err := RunMeasured(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled := haccSpec()
+	sampled.SamplingRatio = 0.25
+	sampledRes, err := RunMeasured(sampled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampledRes.Elements >= fullRes.Elements {
+		t.Errorf("sampling kept %d of %d elements", sampledRes.Elements, fullRes.Elements)
+	}
+}
+
+func TestRunMeasuredValidation(t *testing.T) {
+	bad := haccSpec()
+	bad.Algorithm = ""
+	if _, err := RunMeasured(bad); err == nil {
+		t.Error("missing algorithm accepted")
+	}
+	bad = haccSpec()
+	bad.Width = 0
+	if _, err := RunMeasured(bad); err == nil {
+		t.Error("zero width accepted")
+	}
+	bad = haccSpec()
+	bad.Mode = coupling.Socket
+	if _, err := RunMeasured(bad); err == nil {
+		t.Error("socket without layout accepted")
+	}
+	bad = haccSpec()
+	bad.Workload.Steps = 0
+	if _, err := RunMeasured(bad); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestDiskWorkload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s0.ethd")
+	wl := HACCWorkload(100, 1, 1)
+	ds, err := wl.Generate(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := vtkio.WriteFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	dwl, err := DiskWorkload("replay", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := MeasuredSpec{
+		Workload:  dwl,
+		Algorithm: "gsplat",
+		Width:     32, Height: 32,
+		ImagesPerStep: 1,
+	}
+	res, err := RunMeasured(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elements != 100 {
+		t.Errorf("disk replay elements = %d", res.Elements)
+	}
+	if _, err := DiskWorkload("none"); err == nil {
+		t.Error("empty disk workload accepted")
+	}
+}
+
+func TestRunModeled(t *testing.T) {
+	res, err := RunModeled(ModeledSpec{
+		Nodes:          400,
+		Algorithm:      "gsplat",
+		Elements:       1e9,
+		PixelsPerImage: 1 << 20,
+		ImagesPerStep:  500,
+		TimeSteps:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= 0 || res.EnergyJ <= 0 {
+		t.Error("modeled run empty")
+	}
+	if _, err := RunModeled(ModeledSpec{Algorithm: "bogus", Nodes: 4, Elements: 1, PixelsPerImage: 1, ImagesPerStep: 1, TimeSteps: 1}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestRunModeledCoupled(t *testing.T) {
+	sim := &cluster.SimSpec{SecondsPerStep: 60, RefNodes: 400, BytesPerStep: 1e10, Utilization: 0.5}
+	res, err := RunModeled(ModeledSpec{
+		Nodes:          400,
+		Algorithm:      "points",
+		Elements:       1e9,
+		PixelsPerImage: 1 << 20,
+		ImagesPerStep:  100,
+		TimeSteps:      2,
+		Coupling:       cluster.Intercore,
+		CoupledSim:     sim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := RunModeled(ModeledSpec{
+		Nodes:          400,
+		Algorithm:      "points",
+		Elements:       1e9,
+		PixelsPerImage: 1 << 20,
+		ImagesPerStep:  100,
+		TimeSteps:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Seconds <= plain.Seconds {
+		t.Error("coupled run should include sim time")
+	}
+}
+
+// Sampling at a lower ratio must degrade the image relative to the full
+// render — the Table II accuracy relationship, measured end to end.
+func TestMeasuredSamplingRMSEMonotone(t *testing.T) {
+	render := func(ratio float64) *fb.Frame {
+		spec := MeasuredSpec{
+			Workload:      HACCWorkload(20000, 1, 3),
+			Algorithm:     "points",
+			Width:         64,
+			Height:        64,
+			ImagesPerStep: 1,
+			SamplingRatio: ratio,
+		}
+		res, err := RunMeasured(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Frames[0]
+	}
+	ref := render(1.0)
+	rmse25, err := fb.RMSE(ref, render(0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse75, err := fb.RMSE(ref, render(0.75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rmse25 <= rmse75 {
+		t.Errorf("RMSE(0.25)=%v should exceed RMSE(0.75)=%v", rmse25, rmse75)
+	}
+	if rmse25 == 0 {
+		t.Error("sampling at 0.25 changed nothing")
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ascr-ecx/eth/internal/fb"
+)
+
+// TestSoakMillionParticleMultiRank runs the full measured pipeline at a
+// scale closer to real use: one million particles, four proxy pairs,
+// raycasting, two images per step. It validates that the harness holds
+// up beyond toy sizes (memory, determinism of the composited output
+// against a reference single-rank run is covered elsewhere; here we
+// check liveness and structural sanity).
+func TestSoakMillionParticleMultiRank(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test (several seconds)")
+	}
+	spec := MeasuredSpec{
+		Workload:      HACCWorkload(1_000_000, 1, 99),
+		Algorithm:     "raycast",
+		Width:         256,
+		Height:        256,
+		ImagesPerStep: 2,
+		Ranks:         4,
+	}
+	res, err := RunMeasured(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Frames) != 4 {
+		t.Fatalf("frames = %d", len(res.Frames))
+	}
+	total := 0
+	covered := 0
+	for _, frame := range res.Frames {
+		covered += frame.CoveredPixels()
+	}
+	for _, rep := range res.Reports {
+		total += rep.Viz.Results[0].Elements
+	}
+	if total != 1_000_000 {
+		t.Errorf("ranks processed %d particles", total)
+	}
+	if covered < 10_000 {
+		t.Errorf("suspiciously low coverage: %d pixels", covered)
+	}
+	// The per-rank frames must be composable.
+	out := fb.New(256, 256)
+	for _, frame := range res.Frames {
+		for i := range out.Depth {
+			if frame.Depth[i] < out.Depth[i] {
+				out.Depth[i] = frame.Depth[i]
+				out.Color[i] = frame.Color[i]
+			}
+		}
+	}
+	if out.CoveredPixels() == 0 {
+		t.Error("composited soak frame empty")
+	}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/metrics"
+)
+
+// Sweep runs the cartesian product of design-space choices over a base
+// measured spec and tabulates the results — the "rapid design-space
+// exploration" loop of the paper packaged as one call. Each variant
+// renders with the real pipelines; image quality is compared against the
+// unsampled render of the same algorithm (pinning the same camera by
+// pinning the same workload).
+type Sweep struct {
+	// Base supplies the workload and fixed parameters.
+	Base MeasuredSpec
+	// Algorithms to sweep (must accept the workload's data kind).
+	Algorithms []string
+	// SamplingRatios to sweep; empty means {1.0}.
+	SamplingRatios []float64
+	// RankCounts to sweep; empty means {Base.Ranks or 1}.
+	RankCounts []int
+}
+
+// SweepPoint is one evaluated variant.
+type SweepPoint struct {
+	Algorithm string
+	Ratio     float64
+	Ranks     int
+	Result    MeasuredResult
+	// RMSE and SSIM compare this variant's frame against the same
+	// algorithm's unsampled single-set reference (0 and 1 for the
+	// reference itself). They are computed only when the sweep includes
+	// ratio 1.0 for the algorithm at the same rank count.
+	RMSE, SSIM float64
+	HasQuality bool
+}
+
+// RunSweep executes every variant and returns the points plus a
+// presentation table.
+func RunSweep(sw Sweep) ([]SweepPoint, *metrics.Table, error) {
+	if len(sw.Algorithms) == 0 {
+		return nil, nil, fmt.Errorf("core: sweep needs algorithms")
+	}
+	ratios := append([]float64(nil), sw.SamplingRatios...)
+	if len(ratios) == 0 {
+		ratios = []float64{1.0}
+	}
+	// Evaluate full-resolution variants first so every sampled variant
+	// has its quality reference regardless of the order given.
+	sort.Sort(sort.Reverse(sort.Float64Slice(ratios)))
+	rankCounts := sw.RankCounts
+	if len(rankCounts) == 0 {
+		r := sw.Base.Ranks
+		if r <= 0 {
+			r = 1
+		}
+		rankCounts = []int{r}
+	}
+
+	tab := metrics.NewTable(
+		fmt.Sprintf("Design-space sweep over %s", sw.Base.Workload.Name),
+		"Algorithm", "Ranks", "Ratio", "Wall (s)", "Render (s)", "Elements", "RMSE", "SSIM")
+
+	var points []SweepPoint
+	// references[alg][ranks] holds the unsampled frame for quality
+	// comparison.
+	references := map[string]map[int]*fb.Frame{}
+
+	for _, alg := range sw.Algorithms {
+		references[alg] = map[int]*fb.Frame{}
+		for _, ranks := range rankCounts {
+			for _, ratio := range ratios {
+				spec := sw.Base
+				spec.Algorithm = alg
+				spec.Ranks = ranks
+				spec.SamplingRatio = ratio
+				res, err := RunMeasured(spec)
+				if err != nil {
+					return nil, nil, fmt.Errorf("core: sweep %s/%d/%.2f: %w", alg, ranks, ratio, err)
+				}
+				pt := SweepPoint{Algorithm: alg, Ratio: ratio, Ranks: ranks, Result: res}
+				if ratio >= 1 && len(res.Frames) > 0 {
+					references[alg][ranks] = res.Frames[0]
+				}
+				if ref := references[alg][ranks]; ref != nil && len(res.Frames) > 0 {
+					rmse, err := fb.RMSE(ref, res.Frames[0])
+					if err == nil {
+						ssim, serr := fb.SSIM(ref, res.Frames[0])
+						if serr == nil {
+							pt.RMSE, pt.SSIM, pt.HasQuality = rmse, ssim, true
+						}
+					}
+				}
+				points = append(points, pt)
+				rmseCell, ssimCell := "-", "-"
+				if pt.HasQuality {
+					rmseCell = fmt.Sprintf("%.4f", pt.RMSE)
+					ssimCell = fmt.Sprintf("%.4f", pt.SSIM)
+				}
+				tab.AddRow(alg, ranks, ratio,
+					res.Wall.Seconds(), res.RenderTime.Seconds(), res.Elements,
+					rmseCell, ssimCell)
+			}
+		}
+	}
+	return points, tab, nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func sweepBase() MeasuredSpec {
+	return MeasuredSpec{
+		Workload:      HACCWorkload(8000, 1, 5),
+		Width:         64,
+		Height:        64,
+		ImagesPerStep: 1,
+	}
+}
+
+func TestRunSweepCoversProduct(t *testing.T) {
+	points, tab, err := RunSweep(Sweep{
+		Base:           sweepBase(),
+		Algorithms:     []string{"points", "gsplat"},
+		SamplingRatios: []float64{0.25, 1.0}, // deliberately unsorted
+		RankCounts:     []int{1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 8 {
+		t.Fatalf("points = %d, want 8", len(points))
+	}
+	if len(tab.Rows()) != 8 {
+		t.Fatalf("table rows = %d", len(tab.Rows()))
+	}
+	// Every sampled point has quality metrics against its full reference.
+	for _, pt := range points {
+		if !pt.HasQuality {
+			t.Errorf("%s/%d/%.2f has no quality metrics", pt.Algorithm, pt.Ranks, pt.Ratio)
+			continue
+		}
+		if pt.Ratio >= 1 {
+			if pt.RMSE != 0 || pt.SSIM < 0.999 {
+				t.Errorf("reference point has RMSE %v SSIM %v", pt.RMSE, pt.SSIM)
+			}
+		} else {
+			if pt.RMSE <= 0 {
+				t.Errorf("sampled point %s/%d RMSE = %v", pt.Algorithm, pt.Ranks, pt.RMSE)
+			}
+			if pt.SSIM >= 1 {
+				t.Errorf("sampled point SSIM = %v", pt.SSIM)
+			}
+		}
+	}
+	if !strings.Contains(tab.String(), "Design-space sweep") {
+		t.Error("table title missing")
+	}
+}
+
+func TestRunSweepDefaults(t *testing.T) {
+	points, _, err := RunSweep(Sweep{
+		Base:       sweepBase(),
+		Algorithms: []string{"raycast"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 1 || points[0].Ratio != 1 || points[0].Ranks != 1 {
+		t.Errorf("defaults = %+v", points)
+	}
+}
+
+func TestRunSweepValidation(t *testing.T) {
+	if _, _, err := RunSweep(Sweep{Base: sweepBase()}); err == nil {
+		t.Error("empty algorithm list accepted")
+	}
+	if _, _, err := RunSweep(Sweep{
+		Base:       sweepBase(),
+		Algorithms: []string{"vtk-iso"}, // wrong kind for particle workload
+	}); err == nil {
+		t.Error("kind mismatch not surfaced")
+	}
+}

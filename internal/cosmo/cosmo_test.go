@@ -1,0 +1,195 @@
+package cosmo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func smallParams() Params {
+	return Params{Particles: 20_000, BoxSize: 50, Halos: 20, HaloFraction: 0.6, Seed: 3}
+}
+
+func TestGenerateCountAndBounds(t *testing.T) {
+	p := smallParams()
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Count() != p.Particles {
+		t.Fatalf("count = %d", c.Count())
+	}
+	b := c.Bounds()
+	if b.Min.MinComp() < 0 || b.Max.MaxComp() > p.BoxSize {
+		t.Errorf("particles escape the box: %+v", b)
+	}
+	if _, err := c.Field("speed"); err != nil {
+		t.Error("speed field missing")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.X, b.X) || !reflect.DeepEqual(a.VX, b.VX) {
+		t.Error("same params produced different datasets")
+	}
+}
+
+func TestGenerateSeedMatters(t *testing.T) {
+	p := smallParams()
+	a, _ := Generate(p)
+	p.Seed++
+	b, _ := Generate(p)
+	if reflect.DeepEqual(a.X, b.X) {
+		t.Error("different seeds produced identical positions")
+	}
+}
+
+func TestGenerateTimeStepEvolves(t *testing.T) {
+	p := smallParams()
+	a, _ := Generate(p)
+	p.TimeStep = 5
+	b, _ := Generate(p)
+	if reflect.DeepEqual(a.X, b.X) {
+		t.Error("time steps produced identical positions")
+	}
+}
+
+func TestGenerateClusteringExists(t *testing.T) {
+	// With 60% of mass in halos, the particle distribution must be far
+	// from uniform: count particles in coarse cells and check the
+	// variance-to-mean ratio exceeds the Poisson expectation (~1).
+	p := smallParams()
+	c, _ := Generate(p)
+	const cells = 8
+	counts := make([]float64, cells*cells*cells)
+	cw := p.BoxSize / cells
+	for i := 0; i < c.Count(); i++ {
+		pos := c.Pos(i)
+		ci := int(pos.X / cw)
+		cj := int(pos.Y / cw)
+		ck := int(pos.Z / cw)
+		if ci >= cells {
+			ci = cells - 1
+		}
+		if cj >= cells {
+			cj = cells - 1
+		}
+		if ck >= cells {
+			ck = cells - 1
+		}
+		counts[ci+cells*(cj+cells*ck)]++
+	}
+	mean := float64(c.Count()) / float64(len(counts))
+	varsum := 0.0
+	for _, n := range counts {
+		varsum += (n - mean) * (n - mean)
+	}
+	vmr := varsum / float64(len(counts)) / mean
+	if vmr < 5 {
+		t.Errorf("variance/mean = %.2f; expected strong clustering (>5)", vmr)
+	}
+}
+
+func TestGenerateNoClusteringWhenDisabled(t *testing.T) {
+	p := smallParams()
+	p.Halos = 0
+	c, _ := Generate(p)
+	const cells = 4
+	counts := make([]float64, cells*cells*cells)
+	cw := p.BoxSize / cells
+	for i := 0; i < c.Count(); i++ {
+		pos := c.Pos(i)
+		ci := minI(int(pos.X/cw), cells-1)
+		cj := minI(int(pos.Y/cw), cells-1)
+		ck := minI(int(pos.Z/cw), cells-1)
+		counts[ci+cells*(cj+cells*ck)]++
+	}
+	mean := float64(c.Count()) / float64(len(counts))
+	varsum := 0.0
+	for _, n := range counts {
+		varsum += (n - mean) * (n - mean)
+	}
+	vmr := varsum / float64(len(counts)) / mean
+	if vmr > 3 {
+		t.Errorf("variance/mean = %.2f for uniform field; expected ~1", vmr)
+	}
+}
+
+func TestGenerateValidatesParams(t *testing.T) {
+	if _, err := Generate(Params{Particles: -1, BoxSize: 1}); err == nil {
+		t.Error("negative particles accepted")
+	}
+	if _, err := Generate(Params{Particles: 10, BoxSize: 0}); err == nil {
+		t.Error("zero box accepted")
+	}
+	// Degenerate but legal cases.
+	c, err := Generate(Params{Particles: 0, BoxSize: 1, Seed: 1})
+	if err != nil || c.Count() != 0 {
+		t.Errorf("empty generation: %v, %d", err, c.Count())
+	}
+	c, err = Generate(Params{Particles: 5, BoxSize: 1, Halos: 3, HaloFraction: 2, Seed: 1})
+	if err != nil || c.Count() != 5 {
+		t.Errorf("clamped fraction: %v", err)
+	}
+}
+
+func TestVelocitiesAreFinite(t *testing.T) {
+	c, _ := Generate(smallParams())
+	for i := 0; i < c.Count(); i++ {
+		if !c.Vel(i).IsFinite() || !c.Pos(i).IsFinite() {
+			t.Fatalf("particle %d has non-finite state", i)
+		}
+	}
+}
+
+func TestHaloVelocityDispersionExceedsBackground(t *testing.T) {
+	// Halo particles carry virial dispersion; compare the speed spread of
+	// the halo tail (IDs >= nBg) against the background.
+	p := smallParams()
+	c, _ := Generate(p)
+	nHalo := int(float64(p.Particles) * p.HaloFraction)
+	nBg := p.Particles - nHalo
+	bgVar := speedVariance(c.VX[:nBg], c.VY[:nBg], c.VZ[:nBg])
+	haloVar := speedVariance(c.VX[nBg:], c.VY[nBg:], c.VZ[nBg:])
+	if haloVar < bgVar {
+		t.Errorf("halo velocity variance %.1f < background %.1f", haloVar, bgVar)
+	}
+}
+
+func speedVariance(vx, vy, vz []float32) float64 {
+	var sum, sum2 float64
+	for i := range vx {
+		s := math.Sqrt(float64(vx[i])*float64(vx[i]) + float64(vy[i])*float64(vy[i]) + float64(vz[i])*float64(vz[i]))
+		sum += s
+		sum2 += s * s
+	}
+	n := float64(len(vx))
+	mean := sum / n
+	return sum2/n - mean*mean
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkGenerate100k(b *testing.B) {
+	p := smallParams()
+	p.Particles = 100_000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package coupling executes simulation/visualization proxy pairs under
+// ETH's process-coupling modes (§III, "ETH can run with different
+// process-couplings"): unified (both proxies in one process, the paper's
+// tight coupling), and socket mode (separate flows connected through the
+// transport layer's rendezvous protocol — the mechanism behind both
+// intercore and internode coupling; which nodes the two sides land on is
+// the scheduler's business, not the protocol's). The cmd/ethsim and
+// cmd/ethviz binaries wrap the same drivers for true multi-process runs.
+package coupling
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ascr-ecx/eth/internal/proxy"
+	"github.com/ascr-ecx/eth/internal/transport"
+)
+
+// Mode selects how a proxy pair executes.
+type Mode uint8
+
+const (
+	// Unified runs both proxies in one process with direct hand-off —
+	// the paper's tight coupling.
+	Unified Mode = iota
+	// Socket runs the pair over the transport layer: the simulation side
+	// listens and registers in the layout file; the visualization side
+	// looks it up and connects (§III-C).
+	Socket
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Socket {
+		return "socket"
+	}
+	return "unified"
+}
+
+// Report instruments one pair's run.
+type Report struct {
+	// Wall is end-to-end time for the pair.
+	Wall time.Duration
+	// BytesMoved is the payload crossing the in-situ interface (0 in
+	// unified mode — shared memory).
+	BytesMoved int64
+	// Steps is the number of time steps processed.
+	Steps int
+	// Viz exposes the visualization proxy (per-step results, frames).
+	Viz *proxy.VizProxy
+}
+
+// RunUnified executes sim and viz in-process: each step's dataset is
+// handed to the renderer directly, no serialization.
+func RunUnified(sim *proxy.SimProxy, viz *proxy.VizProxy) (Report, error) {
+	if err := viz.EnsureOutDir(); err != nil {
+		return Report{}, err
+	}
+	t0 := time.Now()
+	for step := 0; step < sim.Steps(); step++ {
+		ds, err := sim.StepData(step)
+		if err != nil {
+			return Report{}, fmt.Errorf("coupling: step %d: %w", step, err)
+		}
+		if _, err := viz.RenderStep(step, ds); err != nil {
+			return Report{}, err
+		}
+	}
+	return Report{
+		Wall:  time.Since(t0),
+		Steps: sim.Steps(),
+		Viz:   viz,
+	}, nil
+}
+
+// RunSocketPair executes the pair over a real TCP loopback connection
+// using the layout-file rendezvous: the simulation side is started
+// first and registers, then the visualization side connects — exactly
+// the §III-C startup sequence, in one process for testability. The
+// payload crosses the full serialize/socket/deserialize path.
+func RunSocketPair(sim *proxy.SimProxy, viz *proxy.VizProxy, layoutPath string, rank int) (Report, error) {
+	if err := viz.EnsureOutDir(); err != nil {
+		return Report{}, err
+	}
+	t0 := time.Now()
+
+	ln, err := transport.Listen(layoutPath, rank, "")
+	if err != nil {
+		return Report{}, err
+	}
+	defer ln.Close()
+
+	type simOut struct {
+		bytes int64
+		err   error
+	}
+	simc := make(chan simOut, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			simc <- simOut{0, err}
+			return
+		}
+		conn := transport.NewConn(c)
+		defer conn.Close()
+		n, err := sim.Serve(conn)
+		simc <- simOut{n, err}
+	}()
+
+	conn, err := transport.Dial(layoutPath, rank, 10*time.Second)
+	if err != nil {
+		return Report{}, err
+	}
+	defer conn.Close()
+	vizErr := viz.Receive(conn)
+	simRes := <-simc
+	if vizErr != nil {
+		return Report{}, vizErr
+	}
+	if simRes.err != nil {
+		return Report{}, simRes.err
+	}
+	return Report{
+		Wall:       time.Since(t0),
+		BytesMoved: simRes.bytes,
+		Steps:      sim.Steps(),
+		Viz:        viz,
+	}, nil
+}
+
+// PairSpec describes one proxy pair for a multi-pair run.
+type PairSpec struct {
+	Sim *proxy.SimProxy
+	Viz *proxy.VizProxy
+}
+
+// RunPairs executes several pairs concurrently under the given mode —
+// the multi-rank configuration of Figure 2. Socket mode shares one
+// layout file; rank i registers under i. It returns per-pair reports in
+// rank order.
+func RunPairs(pairs []PairSpec, mode Mode, layoutPath string) ([]Report, error) {
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("coupling: no pairs")
+	}
+	if mode == Socket && layoutPath == "" {
+		return nil, fmt.Errorf("coupling: socket mode needs a layout path")
+	}
+	reports := make([]Report, len(pairs))
+	errs := make([]error, len(pairs))
+	var wg sync.WaitGroup
+	wg.Add(len(pairs))
+	for i, p := range pairs {
+		go func(i int, p PairSpec) {
+			defer wg.Done()
+			switch mode {
+			case Socket:
+				reports[i], errs[i] = RunSocketPair(p.Sim, p.Viz, layoutPath, i)
+			default:
+				reports[i], errs[i] = RunUnified(p.Sim, p.Viz)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return reports, err
+		}
+	}
+	return reports, nil
+}

@@ -1,0 +1,316 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// StructuredGrid is a regular (uniform-spacing) volume dataset, the form
+// the paper's xRAGE pipeline hands to visualization after AMR data is
+// resampled onto a structured grid (§IV-A). Vertex-centred scalars are
+// stored in x-fastest order: index = i + NX*(j + NY*k).
+type StructuredGrid struct {
+	// NX, NY, NZ are vertex counts along each axis (>= 2 for a volume).
+	NX, NY, NZ int
+	// Origin is the world position of vertex (0,0,0).
+	Origin vec.V3
+	// Spacing is the world distance between adjacent vertices per axis.
+	Spacing vec.V3
+	// Fields holds named per-vertex scalar arrays of length NX*NY*NZ.
+	Fields []Field
+}
+
+var _ Dataset = (*StructuredGrid)(nil)
+
+// NewStructuredGrid allocates a grid with the given vertex counts, unit
+// spacing, and origin at zero. Fields start empty.
+func NewStructuredGrid(nx, ny, nz int) *StructuredGrid {
+	return &StructuredGrid{
+		NX: nx, NY: ny, NZ: nz,
+		Spacing: vec.Splat(1),
+	}
+}
+
+// Kind implements Dataset.
+func (g *StructuredGrid) Kind() Kind { return KindStructuredGrid }
+
+// Count implements Dataset; it returns the vertex count.
+func (g *StructuredGrid) Count() int { return g.NX * g.NY * g.NZ }
+
+// Cells returns the cell count, (NX-1)(NY-1)(NZ-1), which is what
+// geometry extraction iterates over.
+func (g *StructuredGrid) Cells() int {
+	cx, cy, cz := g.NX-1, g.NY-1, g.NZ-1
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	if cz < 0 {
+		cz = 0
+	}
+	return cx * cy * cz
+}
+
+// Bytes implements Dataset.
+func (g *StructuredGrid) Bytes() int64 {
+	b := int64(0)
+	for _, f := range g.Fields {
+		b += int64(len(f.Values)) * 4
+	}
+	return b
+}
+
+// Bounds implements Dataset.
+func (g *StructuredGrid) Bounds() vec.AABB {
+	far := g.Origin.Add(vec.V3{
+		X: float64(g.NX-1) * g.Spacing.X,
+		Y: float64(g.NY-1) * g.Spacing.Y,
+		Z: float64(g.NZ-1) * g.Spacing.Z,
+	})
+	return vec.NewAABB(g.Origin, far)
+}
+
+// Index returns the linear index of vertex (i, j, k).
+func (g *StructuredGrid) Index(i, j, k int) int { return i + g.NX*(j+g.NY*k) }
+
+// VertexPos returns the world position of vertex (i, j, k).
+func (g *StructuredGrid) VertexPos(i, j, k int) vec.V3 {
+	return vec.V3{
+		X: g.Origin.X + float64(i)*g.Spacing.X,
+		Y: g.Origin.Y + float64(j)*g.Spacing.Y,
+		Z: g.Origin.Z + float64(k)*g.Spacing.Z,
+	}
+}
+
+// Field returns the named field, or ErrFieldMissing.
+func (g *StructuredGrid) Field(name string) (*Field, error) {
+	for i := range g.Fields {
+		if g.Fields[i].Name == name {
+			return &g.Fields[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrFieldMissing, name)
+}
+
+// AddField attaches a named scalar array of length Count().
+func (g *StructuredGrid) AddField(name string, values []float32) error {
+	if len(values) != g.Count() {
+		return fmt.Errorf("data: field %q has %d values for %d vertices", name, len(values), g.Count())
+	}
+	g.Fields = append(g.Fields, Field{Name: name, Values: values})
+	return nil
+}
+
+// FillField allocates a field and fills it by evaluating fn at every
+// vertex's world position, in x-fastest order.
+func (g *StructuredGrid) FillField(name string, fn func(p vec.V3) float32) *Field {
+	vals := make([]float32, g.Count())
+	idx := 0
+	for k := 0; k < g.NZ; k++ {
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i++ {
+				vals[idx] = fn(g.VertexPos(i, j, k))
+				idx++
+			}
+		}
+	}
+	g.Fields = append(g.Fields, Field{Name: name, Values: vals})
+	return &g.Fields[len(g.Fields)-1]
+}
+
+// Sample trilinearly interpolates the field at world position p. Positions
+// outside the grid are clamped to the boundary, which is the behaviour
+// ray marchers want at volume edges. It returns the interpolated value.
+func (g *StructuredGrid) Sample(f *Field, p vec.V3) float32 {
+	// Convert world position to continuous vertex coordinates.
+	fx := (p.X - g.Origin.X) / g.Spacing.X
+	fy := (p.Y - g.Origin.Y) / g.Spacing.Y
+	fz := (p.Z - g.Origin.Z) / g.Spacing.Z
+	fx = clampF(fx, 0, float64(g.NX-1))
+	fy = clampF(fy, 0, float64(g.NY-1))
+	fz = clampF(fz, 0, float64(g.NZ-1))
+
+	i0 := int(fx)
+	j0 := int(fy)
+	k0 := int(fz)
+	if i0 > g.NX-2 {
+		i0 = g.NX - 2
+	}
+	if j0 > g.NY-2 {
+		j0 = g.NY - 2
+	}
+	if k0 > g.NZ-2 {
+		k0 = g.NZ - 2
+	}
+	if i0 < 0 {
+		i0 = 0
+	}
+	if j0 < 0 {
+		j0 = 0
+	}
+	if k0 < 0 {
+		k0 = 0
+	}
+	tx := fx - float64(i0)
+	ty := fy - float64(j0)
+	tz := fz - float64(k0)
+
+	v := f.Values
+	base := g.Index(i0, j0, k0)
+	sx, sy := 1, g.NX
+	sz := g.NX * g.NY
+	c000 := float64(v[base])
+	c100 := float64(v[base+sx])
+	c010 := float64(v[base+sy])
+	c110 := float64(v[base+sx+sy])
+	c001 := float64(v[base+sz])
+	c101 := float64(v[base+sx+sz])
+	c011 := float64(v[base+sy+sz])
+	c111 := float64(v[base+sx+sy+sz])
+
+	c00 := c000 + tx*(c100-c000)
+	c10 := c010 + tx*(c110-c010)
+	c01 := c001 + tx*(c101-c001)
+	c11 := c011 + tx*(c111-c011)
+	c0 := c00 + ty*(c10-c00)
+	c1 := c01 + ty*(c11-c01)
+	return float32(c0 + tz*(c1-c0))
+}
+
+// Gradient estimates the field gradient at world position p by central
+// differences of Sample, used for isosurface shading normals.
+func (g *StructuredGrid) Gradient(f *Field, p vec.V3) vec.V3 {
+	hx := g.Spacing.X
+	hy := g.Spacing.Y
+	hz := g.Spacing.Z
+	dx := float64(g.Sample(f, p.Add(vec.V3{X: hx}))) - float64(g.Sample(f, p.Sub(vec.V3{X: hx})))
+	dy := float64(g.Sample(f, p.Add(vec.V3{Y: hy}))) - float64(g.Sample(f, p.Sub(vec.V3{Y: hy})))
+	dz := float64(g.Sample(f, p.Add(vec.V3{Z: hz}))) - float64(g.Sample(f, p.Sub(vec.V3{Z: hz})))
+	return vec.V3{X: dx / (2 * hx), Y: dy / (2 * hy), Z: dz / (2 * hz)}
+}
+
+// Partition implements Dataset. The grid is split into n slabs along its
+// longest axis. Adjacent slabs share one vertex plane so that cell-based
+// algorithms (marching cubes, slicing) see no gaps at slab boundaries —
+// the same ghost-layer convention parallel VTK uses.
+func (g *StructuredGrid) Partition(n int) []Dataset {
+	if n <= 1 {
+		return []Dataset{g}
+	}
+	axis := g.Bounds().LongestAxis()
+	dims := [3]int{g.NX, g.NY, g.NZ}
+	cells := dims[axis] - 1
+	if cells < 1 {
+		return []Dataset{g}
+	}
+	if n > cells {
+		n = cells
+	}
+	pieces := make([]Dataset, 0, n)
+	for k := 0; k < n; k++ {
+		lo := k * cells / n
+		hi := (k + 1) * cells / n
+		pieces = append(pieces, g.subgrid(axis, lo, hi))
+	}
+	return pieces
+}
+
+// subgrid copies the vertex range [lo, hi] (inclusive of hi as the shared
+// plane) along the given axis into a fresh grid.
+func (g *StructuredGrid) subgrid(axis, lo, hi int) *StructuredGrid {
+	dims := [3]int{g.NX, g.NY, g.NZ}
+	newDims := dims
+	newDims[axis] = hi - lo + 1
+	out := NewStructuredGrid(newDims[0], newDims[1], newDims[2])
+	out.Spacing = g.Spacing
+	out.Origin = g.Origin.Add(vec.V3{
+		X: g.Spacing.X * float64(lo*boolToInt(axis == 0)),
+		Y: g.Spacing.Y * float64(lo*boolToInt(axis == 1)),
+		Z: g.Spacing.Z * float64(lo*boolToInt(axis == 2)),
+	})
+	for _, f := range g.Fields {
+		vals := make([]float32, out.Count())
+		idx := 0
+		for k := 0; k < out.NZ; k++ {
+			for j := 0; j < out.NY; j++ {
+				for i := 0; i < out.NX; i++ {
+					si, sj, sk := i, j, k
+					switch axis {
+					case 0:
+						si += lo
+					case 1:
+						sj += lo
+					default:
+						sk += lo
+					}
+					vals[idx] = f.Values[g.Index(si, sj, sk)]
+					idx++
+				}
+			}
+		}
+		out.Fields = append(out.Fields, Field{Name: f.Name, Values: vals})
+	}
+	return out
+}
+
+// Downsample returns a grid with every stride-th vertex along each axis,
+// the spatial-sampling operation ETH applies to volumes (§IV-B). The
+// spacing grows by the stride so world bounds are approximately
+// preserved. stride must be >= 1.
+func (g *StructuredGrid) Downsample(stride int) *StructuredGrid {
+	if stride <= 1 {
+		return g
+	}
+	nx := (g.NX + stride - 1) / stride
+	ny := (g.NY + stride - 1) / stride
+	nz := (g.NZ + stride - 1) / stride
+	if nx < 2 {
+		nx = 2
+	}
+	if ny < 2 {
+		ny = 2
+	}
+	if nz < 2 {
+		nz = 2
+	}
+	out := NewStructuredGrid(nx, ny, nz)
+	out.Origin = g.Origin
+	out.Spacing = g.Spacing.Scale(float64(stride))
+	for _, f := range g.Fields {
+		vals := make([]float32, out.Count())
+		idx := 0
+		for k := 0; k < nz; k++ {
+			for j := 0; j < ny; j++ {
+				for i := 0; i < nx; i++ {
+					si := minInt(i*stride, g.NX-1)
+					sj := minInt(j*stride, g.NY-1)
+					sk := minInt(k*stride, g.NZ-1)
+					vals[idx] = f.Values[g.Index(si, sj, sk)]
+					idx++
+				}
+			}
+		}
+		out.Fields = append(out.Fields, Field{Name: f.Name, Values: vals})
+	}
+	return out
+}
+
+func clampF(x, lo, hi float64) float64 { return math.Min(math.Max(x, lo), hi) }
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,196 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// PointCloud is a particle dataset in structure-of-arrays layout, matching
+// the HACC payload the paper describes: per-particle ID, position vector,
+// and velocity vector, plus any number of derived scalar fields. SoA keeps
+// the hot loops (transform-all-points, BVH build) cache friendly.
+type PointCloud struct {
+	// IDs are the simulation-assigned particle identifiers.
+	IDs []int64
+	// X, Y, Z are the particle positions.
+	X, Y, Z []float32
+	// VX, VY, VZ are the particle velocities.
+	VX, VY, VZ []float32
+	// Fields holds named per-particle scalars (e.g. speed, mass).
+	Fields []Field
+
+	bounds    vec.AABB
+	boundsSet bool
+}
+
+var _ Dataset = (*PointCloud)(nil)
+
+// NewPointCloud allocates a cloud with capacity for n particles. All
+// arrays are allocated; values are zero.
+func NewPointCloud(n int) *PointCloud {
+	return &PointCloud{
+		IDs: make([]int64, n),
+		X:   make([]float32, n), Y: make([]float32, n), Z: make([]float32, n),
+		VX: make([]float32, n), VY: make([]float32, n), VZ: make([]float32, n),
+	}
+}
+
+// Kind implements Dataset.
+func (p *PointCloud) Kind() Kind { return KindPointCloud }
+
+// Count implements Dataset.
+func (p *PointCloud) Count() int { return len(p.X) }
+
+// Bytes implements Dataset.
+func (p *PointCloud) Bytes() int64 {
+	n := int64(p.Count())
+	b := n * (8 + 6*4) // id + 6 float32
+	for _, f := range p.Fields {
+		b += int64(len(f.Values)) * 4
+	}
+	return b
+}
+
+// Pos returns the position of particle i.
+func (p *PointCloud) Pos(i int) vec.V3 {
+	return vec.V3{X: float64(p.X[i]), Y: float64(p.Y[i]), Z: float64(p.Z[i])}
+}
+
+// Vel returns the velocity of particle i.
+func (p *PointCloud) Vel(i int) vec.V3 {
+	return vec.V3{X: float64(p.VX[i]), Y: float64(p.VY[i]), Z: float64(p.VZ[i])}
+}
+
+// SetPos sets the position of particle i.
+func (p *PointCloud) SetPos(i int, v vec.V3) {
+	p.X[i], p.Y[i], p.Z[i] = float32(v.X), float32(v.Y), float32(v.Z)
+	p.boundsSet = false
+}
+
+// SetVel sets the velocity of particle i.
+func (p *PointCloud) SetVel(i int, v vec.V3) {
+	p.VX[i], p.VY[i], p.VZ[i] = float32(v.X), float32(v.Y), float32(v.Z)
+}
+
+// Field returns the named field, or ErrFieldMissing.
+func (p *PointCloud) Field(name string) (*Field, error) {
+	for i := range p.Fields {
+		if p.Fields[i].Name == name {
+			return &p.Fields[i], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrFieldMissing, name)
+}
+
+// AddField attaches a named scalar array. The array length must equal the
+// particle count.
+func (p *PointCloud) AddField(name string, values []float32) error {
+	if len(values) != p.Count() {
+		return fmt.Errorf("data: field %q has %d values for %d particles", name, len(values), p.Count())
+	}
+	p.Fields = append(p.Fields, Field{Name: name, Values: values})
+	return nil
+}
+
+// Bounds implements Dataset. The box is cached until positions change via
+// SetPos; callers that mutate X/Y/Z slices directly should call
+// InvalidateBounds.
+func (p *PointCloud) Bounds() vec.AABB {
+	if p.boundsSet {
+		return p.bounds
+	}
+	b := vec.EmptyAABB()
+	for i := range p.X {
+		b = b.Extend(p.Pos(i))
+	}
+	p.bounds = b
+	p.boundsSet = true
+	return b
+}
+
+// InvalidateBounds drops the cached bounding box.
+func (p *PointCloud) InvalidateBounds() { p.boundsSet = false }
+
+// Select returns a new cloud containing the particles at the given
+// indices, with all fields carried over. Indices may repeat.
+func (p *PointCloud) Select(indices []int) *PointCloud {
+	out := NewPointCloud(len(indices))
+	for j, i := range indices {
+		out.IDs[j] = p.IDs[i]
+		out.X[j], out.Y[j], out.Z[j] = p.X[i], p.Y[i], p.Z[i]
+		out.VX[j], out.VY[j], out.VZ[j] = p.VX[i], p.VY[i], p.VZ[i]
+	}
+	for _, f := range p.Fields {
+		vals := make([]float32, len(indices))
+		for j, i := range indices {
+			vals[j] = f.Values[i]
+		}
+		out.Fields = append(out.Fields, Field{Name: f.Name, Values: vals})
+	}
+	return out
+}
+
+// Slice returns a new cloud referencing particles [lo, hi). The returned
+// cloud shares backing arrays with p; treat it as read-only.
+func (p *PointCloud) Slice(lo, hi int) *PointCloud {
+	out := &PointCloud{
+		IDs: p.IDs[lo:hi],
+		X:   p.X[lo:hi], Y: p.Y[lo:hi], Z: p.Z[lo:hi],
+		VX: p.VX[lo:hi], VY: p.VY[lo:hi], VZ: p.VZ[lo:hi],
+	}
+	for _, f := range p.Fields {
+		out.Fields = append(out.Fields, Field{Name: f.Name, Values: f.Values[lo:hi]})
+	}
+	return out
+}
+
+// Partition implements Dataset. Particles are split into n spatial slabs
+// along the longest axis of the bounding box, mirroring how a simulation
+// decomposes its domain across ranks. Each returned piece is a fresh
+// PointCloud (no sharing), so pieces can be shipped independently.
+func (p *PointCloud) Partition(n int) []Dataset {
+	if n <= 1 {
+		return []Dataset{p}
+	}
+	axis := p.Bounds().LongestAxis()
+	coord := [3][]float32{p.X, p.Y, p.Z}[axis]
+
+	// Sort particle indices by the split coordinate and cut into equal
+	// count slabs. Equal-count (not equal-width) matches the load balance
+	// a production particle code maintains.
+	idx := make([]int, p.Count())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return coord[idx[a]] < coord[idx[b]] })
+
+	pieces := make([]Dataset, n)
+	for k := 0; k < n; k++ {
+		lo := k * len(idx) / n
+		hi := (k + 1) * len(idx) / n
+		pieces[k] = p.Select(idx[lo:hi])
+	}
+	return pieces
+}
+
+// SpeedField computes |velocity| per particle and attaches it as field
+// "speed", returning the values. This is the scalar the paper's HACC
+// renderings color by.
+func (p *PointCloud) SpeedField() []float32 {
+	vals := make([]float32, p.Count())
+	for i := range vals {
+		v := p.Vel(i)
+		vals[i] = float32(v.Len())
+	}
+	// Replace existing speed field if present.
+	for i := range p.Fields {
+		if p.Fields[i].Name == "speed" {
+			p.Fields[i].Values = vals
+			return vals
+		}
+	}
+	p.Fields = append(p.Fields, Field{Name: "speed", Values: vals})
+	return vals
+}

@@ -1,0 +1,157 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ascr-ecx/eth/internal/camera"
+	"github.com/ascr-ecx/eth/internal/compositing"
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/render"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+func testCloud(n int) *data.PointCloud {
+	rng := rand.New(rand.NewSource(8))
+	p := data.NewPointCloud(n)
+	for i := 0; i < n; i++ {
+		p.IDs[i] = int64(i)
+		p.SetPos(i, vec.New(rng.Float64()*10, rng.Float64()*10, rng.Float64()*10))
+		p.SetVel(i, vec.New(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()))
+	}
+	p.SpeedField()
+	return p
+}
+
+func testGrid(n int) *data.StructuredGrid {
+	g := data.NewStructuredGrid(n, n, n)
+	c := vec.Splat(float64(n-1) / 2)
+	g.FillField("temperature", func(p vec.V3) float32 {
+		return float32(1 / (1 + p.Sub(c).Len()))
+	})
+	return g
+}
+
+func TestDecomposeValidation(t *testing.T) {
+	if _, err := Decompose(testCloud(10), 0); err == nil {
+		t.Error("zero ranks accepted")
+	}
+	d, err := Decompose(testCloud(100), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Ranks() != 4 {
+		t.Errorf("ranks = %d", d.Ranks())
+	}
+}
+
+// The central sort-last invariant: the composited multi-rank image equals
+// (approximately, for splats whose radius derives from local density) the
+// single-rank image. For raycast spheres with a fixed radius it should be
+// exact wherever depths differ meaningfully.
+func TestMultiRankMatchesSingleRankRaycast(t *testing.T) {
+	p := testCloud(3000)
+	cam := camera.ForBounds(p.Bounds())
+	opt := render.Options{Radius: 0.25}
+	const w, h = 96, 96
+
+	single, _, err := (&Decomposition{Pieces: []data.Dataset{p}, Whole: p}).
+		RenderWhole(w, h, "raycast", &cam, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{2, 4, 7} {
+		d, err := Decompose(p, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, stats, err := d.Render(w, h, "raycast", &cam, opt, compositing.BinarySwap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rmse, err := fb.RMSE(single, multi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rmse > 0.02 {
+			t.Errorf("%d ranks: RMSE vs single = %v", ranks, rmse)
+		}
+		if len(stats.PerRank) != ranks {
+			t.Errorf("stats ranks = %d", len(stats.PerRank))
+		}
+		if ranks > 1 && stats.Composite.BytesMoved == 0 {
+			t.Error("no compositing accounted")
+		}
+	}
+}
+
+func TestMultiRankGridIsosurface(t *testing.T) {
+	g := testGrid(24)
+	cam := camera.ForBounds(g.Bounds())
+	opt := render.Options{IsoValue: 0.12}
+	const w, h = 96, 96
+	d, err := Decompose(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, _, err := d.RenderWhole(w, h, "vtk-iso", &cam, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, _, err := d.Render(w, h, "vtk-iso", &cam, opt, compositing.DirectSend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmse, err := fb.RMSE(single, multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slab partitions share boundary planes, so the surfaces must agree
+	// closely (small differences from shading of duplicated boundary
+	// triangles are acceptable).
+	if rmse > 0.03 {
+		t.Errorf("grid multi-rank RMSE = %v", rmse)
+	}
+}
+
+func TestRenderStatsAggregation(t *testing.T) {
+	p := testCloud(500)
+	cam := camera.ForBounds(p.Bounds())
+	d, _ := Decompose(p, 4)
+	_, stats, err := d.Render(64, 64, "points", &cam, render.Options{}, compositing.DirectSend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TotalPrimitives() == 0 {
+		t.Error("no primitives recorded")
+	}
+	sum := 0
+	for _, s := range stats.PerRank {
+		sum += s.Primitives
+	}
+	if sum != stats.TotalPrimitives() {
+		t.Error("TotalPrimitives mismatch")
+	}
+}
+
+func TestRenderUnknownAlgorithm(t *testing.T) {
+	p := testCloud(10)
+	cam := camera.ForBounds(p.Bounds())
+	d, _ := Decompose(p, 2)
+	if _, _, err := d.Render(16, 16, "nope", &cam, render.Options{}, compositing.DirectSend); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, _, err := d.RenderWhole(16, 16, "nope", &cam, render.Options{}); err == nil {
+		t.Error("unknown algorithm accepted in RenderWhole")
+	}
+}
+
+func TestRenderKindMismatch(t *testing.T) {
+	p := testCloud(10)
+	cam := camera.ForBounds(p.Bounds())
+	d, _ := Decompose(p, 2)
+	if _, _, err := d.Render(16, 16, "vtk-iso", &cam, render.Options{}, compositing.DirectSend); err == nil {
+		t.Error("grid algorithm on cloud pieces accepted")
+	}
+}

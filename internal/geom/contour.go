@@ -1,0 +1,198 @@
+package geom
+
+import (
+	"fmt"
+
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/par"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// Contouring is done by marching tetrahedra: each hexahedral cell is
+// decomposed into six tetrahedra and each tetrahedron is contoured
+// independently. Compared with VTK's marching cubes this emits roughly 2x
+// the triangles but has the identical cost structure — O(cells) scan with
+// work proportional to surface-crossing cells — which is what the
+// experiments measure; it also needs no 256-entry case table, making the
+// implementation verifiable by inspection. The mesh is emitted with
+// "triangle soup" topology (vertices duplicated per triangle), exactly
+// what a one-shot in-situ render consumes.
+
+// tets enumerates the six tetrahedra of a cube by corner index, using the
+// standard decomposition around the 0-7 diagonal. Corner numbering:
+// bit 0 = +x, bit 1 = +y, bit 2 = +z.
+var tets = [6][4]int{
+	{0, 5, 1, 3},
+	{0, 5, 3, 7},
+	{0, 5, 7, 4},
+	{0, 3, 2, 7},
+	{0, 2, 6, 7},
+	{0, 6, 4, 7},
+}
+
+// Isosurface extracts the isoValue contour of the named field as a
+// triangle mesh whose per-vertex scalar is isoValue (constant), so the
+// surface renders with a single colormap entry — matching the paper's
+// single-isovalue renders. Per-vertex normals come from the field
+// gradient (VTK's normals filter), enabling smooth shading. It returns
+// an error if the field is missing.
+func Isosurface(g *data.StructuredGrid, fieldName string, isoValue float32) (*Mesh, error) {
+	f, err := g.Field(fieldName)
+	if err != nil {
+		return nil, err
+	}
+	value := func(i, j, k int) float32 { return f.Values[g.Index(i, j, k)] }
+	scalar := func(p vec.V3) float32 { return isoValue }
+	m := contour(g, value, isoValue, scalar)
+	// Smooth normals from the field gradient at each emitted vertex.
+	m.Normals = make([]vec.V3, len(m.Verts))
+	par.For(len(m.Verts), 0, func(i int) {
+		m.Normals[i] = g.Gradient(f, m.Verts[i]).Norm()
+	})
+	return m, nil
+}
+
+// SlicePlane extracts the cross-section of the grid with the plane
+// through point with unit normal, colored by the named field: the signed
+// distance to the plane is contoured at zero and each output vertex
+// samples the field for colormapping. This is VTK's slice filter
+// reproduced with the same cell-scan cost profile.
+func SlicePlane(g *data.StructuredGrid, fieldName string, point, normal vec.V3) (*Mesh, error) {
+	f, err := g.Field(fieldName)
+	if err != nil {
+		return nil, err
+	}
+	n := normal.Norm()
+	if n == (vec.V3{}) {
+		return nil, fmt.Errorf("geom: slice plane normal is zero")
+	}
+	value := func(i, j, k int) float32 {
+		return float32(g.VertexPos(i, j, k).Sub(point).Dot(n))
+	}
+	scalar := func(p vec.V3) float32 { return g.Sample(f, p) }
+	return contour(g, value, 0, scalar), nil
+}
+
+// contour runs marching tetrahedra over every cell, evaluating the
+// implicit function at cell corners via value and assigning each emitted
+// vertex the scalar returned by scalar. Parallel over z-slabs; each
+// worker appends into a private mesh which are concatenated afterwards,
+// so output is deterministic in slab order.
+func contour(g *data.StructuredGrid, value func(i, j, k int) float32, iso float32, scalar func(p vec.V3) float32) *Mesh {
+	slabs := g.NZ - 1
+	if slabs <= 0 {
+		return &Mesh{}
+	}
+	parts := make([]*Mesh, slabs)
+	par.For(slabs, 0, func(k int) {
+		m := &Mesh{}
+		var corners [8]vec.V3
+		var vals [8]float32
+		for j := 0; j < g.NY-1; j++ {
+			for i := 0; i < g.NX-1; i++ {
+				// Gather the cell.
+				idx := 0
+				for dz := 0; dz < 2; dz++ {
+					for dy := 0; dy < 2; dy++ {
+						for dx := 0; dx < 2; dx++ {
+							corner := dx | dy<<1 | dz<<2
+							corners[corner] = g.VertexPos(i+dx, j+dy, k+dz)
+							vals[corner] = value(i+dx, j+dy, k+dz)
+							idx++
+						}
+					}
+				}
+				// Cheap reject: cell entirely on one side.
+				allLo, allHi := true, true
+				for _, v := range vals {
+					if v >= iso {
+						allLo = false
+					}
+					if v < iso {
+						allHi = false
+					}
+				}
+				if allLo || allHi {
+					continue
+				}
+				for _, tet := range tets {
+					marchTet(m, &corners, &vals, tet, iso, scalar)
+				}
+			}
+		}
+		parts[k] = m
+	})
+	out := &Mesh{}
+	for _, p := range parts {
+		out.Append(p)
+	}
+	return out
+}
+
+// marchTet contours a single tetrahedron, appending 0, 1, or 2 triangles.
+func marchTet(m *Mesh, corners *[8]vec.V3, vals *[8]float32, tet [4]int, iso float32, scalar func(p vec.V3) float32) {
+	var inside [4]bool
+	count := 0
+	for i, c := range tet {
+		if vals[c] >= iso {
+			inside[i] = true
+			count++
+		}
+	}
+	if count == 0 || count == 4 {
+		return
+	}
+
+	// Edge interpolation between tet vertices a and b.
+	edgePoint := func(a, b int) vec.V3 {
+		va := vals[tet[a]]
+		vb := vals[tet[b]]
+		t := 0.5
+		if va != vb {
+			t = float64((iso - va) / (vb - va))
+		}
+		return corners[tet[a]].Lerp(corners[tet[b]], t)
+	}
+	emit := func(p0, p1, p2 vec.V3) {
+		base := int32(len(m.Verts))
+		m.Verts = append(m.Verts, p0, p1, p2)
+		m.Scalars = append(m.Scalars, scalar(p0), scalar(p1), scalar(p2))
+		m.Tris = append(m.Tris, [3]int32{base, base + 1, base + 2})
+	}
+
+	switch count {
+	case 1, 3:
+		// One vertex isolated: a single triangle separates it. For
+		// count==3 the isolated vertex is the one outside.
+		iso1 := -1
+		for i := 0; i < 4; i++ {
+			if inside[i] == (count == 1) {
+				iso1 = i
+				break
+			}
+		}
+		others := make([]int, 0, 3)
+		for i := 0; i < 4; i++ {
+			if i != iso1 {
+				others = append(others, i)
+			}
+		}
+		emit(edgePoint(iso1, others[0]), edgePoint(iso1, others[1]), edgePoint(iso1, others[2]))
+	case 2:
+		// Two in, two out: a quad split into two triangles. Find pairs.
+		var in2, out2 []int
+		for i := 0; i < 4; i++ {
+			if inside[i] {
+				in2 = append(in2, i)
+			} else {
+				out2 = append(out2, i)
+			}
+		}
+		p00 := edgePoint(in2[0], out2[0])
+		p01 := edgePoint(in2[0], out2[1])
+		p10 := edgePoint(in2[1], out2[0])
+		p11 := edgePoint(in2[1], out2[1])
+		emit(p00, p01, p11)
+		emit(p00, p11, p10)
+	}
+}

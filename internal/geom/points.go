@@ -1,0 +1,180 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ascr-ecx/eth/internal/camera"
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/par"
+	"github.com/ascr-ecx/eth/internal/raster"
+	"github.com/ascr-ecx/eth/internal/telemetry"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// Mapper telemetry counters (TACC-Stats analog).
+var (
+	ctrSprites   = telemetry.Default.Counter("geom.sprites")
+	ctrImpostors = telemetry.Default.Counter("geom.impostors")
+)
+
+// PointsOptions configures the VTK-points mapper.
+type PointsOptions struct {
+	// Size is the sprite edge length in pixels (the paper uses 1-3).
+	Size int
+	// ColorField names the per-particle scalar used for colormapping;
+	// empty selects constant white.
+	ColorField string
+	// Colormap maps normalized scalars to colors; nil selects Viridis.
+	Colormap *fb.Colormap
+	// ScalarLo/Hi pin the colormap normalization range; equal values
+	// select the field's own range. Multi-rank renders must pin a global
+	// range so every rank colors identically.
+	ScalarLo, ScalarHi float32
+}
+
+// MapPoints projects every particle of p through cam and returns the
+// screen-space sprites for the VTK-points technique: each particle
+// becomes a fixed-size, fixed-color block (§IV-C). Particles behind the
+// camera are dropped. The mapper is O(N) in the particle count —
+// extraction cost the experiments measure.
+func MapPoints(p *data.PointCloud, cam *camera.Camera, w, h int, opt PointsOptions) ([]raster.Sprite, error) {
+	colors, err := particleColors(p, opt.ColorField, opt.Colormap, opt.ScalarLo, opt.ScalarHi)
+	if err != nil {
+		return nil, err
+	}
+	size := opt.Size
+	if size <= 0 {
+		size = 2
+	}
+	sprites := make([]raster.Sprite, p.Count())
+	keep := make([]bool, p.Count())
+	par.For(p.Count(), 0, func(i int) {
+		x, y, depth, ok := cam.Project(p.Pos(i), w, h)
+		if !ok || x < -8 || x >= float64(w)+8 || y < -8 || y >= float64(h)+8 {
+			return
+		}
+		keep[i] = true
+		sprites[i] = raster.Sprite{
+			X: x, Y: y, Depth: depth, Size: size, Color: colors[i],
+		}
+	})
+	out := compactSprites(sprites, keep)
+	ctrSprites.Add(int64(len(out)))
+	return out, nil
+}
+
+// SplatOptions configures the Gaussian splatter.
+type SplatOptions struct {
+	// WorldRadius is the particle radius in world units; <= 0 derives a
+	// radius from the mean inter-particle spacing.
+	WorldRadius float64
+	// ColorField and Colormap as in PointsOptions.
+	ColorField string
+	Colormap   *fb.Colormap
+	// ScalarLo/Hi as in PointsOptions.
+	ScalarLo, ScalarHi float32
+}
+
+// MapSplats converts particles to shaded sphere impostors — the Gaussian
+// splatter: one screen-facing primitive per particle whose per-pixel
+// shading models a sphere (§IV-C). Projected radius honors perspective,
+// so nearer particles draw larger.
+func MapSplats(p *data.PointCloud, cam *camera.Camera, w, h int, opt SplatOptions) ([]raster.Impostor, error) {
+	colors, err := particleColors(p, opt.ColorField, opt.Colormap, opt.ScalarLo, opt.ScalarHi)
+	if err != nil {
+		return nil, err
+	}
+	radius := opt.WorldRadius
+	if radius <= 0 {
+		radius = DefaultSplatRadius(p)
+	}
+	// Perspective scale: a length r at camera depth d spans
+	// r/d * (h/2) / tan(fovy/2) pixels vertically.
+	pixPerUnit := float64(h) / 2 / math.Tan(cam.FovY/2)
+
+	imps := make([]raster.Impostor, p.Count())
+	keep := make([]bool, p.Count())
+	par.For(p.Count(), 0, func(i int) {
+		x, y, depth, ok := cam.Project(p.Pos(i), w, h)
+		if !ok {
+			return
+		}
+		pr := radius / depth * pixPerUnit
+		if x+pr < 0 || x-pr >= float64(w) || y+pr < 0 || y-pr >= float64(h) {
+			return
+		}
+		keep[i] = true
+		imps[i] = raster.Impostor{
+			X: x, Y: y, Depth: depth,
+			Radius:      pr,
+			WorldRadius: radius,
+			Color:       colors[i],
+		}
+	})
+	out := imps[:0]
+	for i, k := range keep {
+		if k {
+			out = append(out, imps[i])
+		}
+	}
+	ctrImpostors.Add(int64(len(out)))
+	return out, nil
+}
+
+// DefaultSplatRadius estimates a particle radius as a fraction of the
+// mean inter-particle spacing (cube root of volume per particle).
+func DefaultSplatRadius(p *data.PointCloud) float64 {
+	if p.Count() == 0 {
+		return 1
+	}
+	b := p.Bounds()
+	vol := b.Size().X * b.Size().Y * b.Size().Z
+	if vol <= 0 {
+		return b.Diagonal()/100 + 1e-6
+	}
+	return 0.5 * math.Cbrt(vol/float64(p.Count()))
+}
+
+// particleColors maps the named field through the colormap, normalizing
+// by [lo, hi] (or the field's min/max when lo == hi). A missing name
+// yields constant white.
+func particleColors(p *data.PointCloud, fieldName string, cmap *fb.Colormap, lo, hi float32) ([]vec.V3, error) {
+	colors := make([]vec.V3, p.Count())
+	if fieldName == "" {
+		white := vec.New(1, 1, 1)
+		for i := range colors {
+			colors[i] = white
+		}
+		return colors, nil
+	}
+	f, err := p.Field(fieldName)
+	if err != nil {
+		return nil, fmt.Errorf("geom: color field: %w", err)
+	}
+	if cmap == nil {
+		cmap = fb.Viridis
+	}
+	if lo == hi {
+		lo, hi = f.MinMax()
+	}
+	scale := 0.0
+	if hi > lo {
+		scale = 1 / float64(hi-lo)
+	}
+	par.For(p.Count(), 0, func(i int) {
+		colors[i] = cmap.Lookup(float64(f.Values[i]-lo) * scale)
+	})
+	return colors, nil
+}
+
+func compactSprites(sprites []raster.Sprite, keep []bool) []raster.Sprite {
+	out := sprites[:0]
+	for i, k := range keep {
+		if k {
+			out = append(out, sprites[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package geom
+
+import (
+	"math"
+
+	"github.com/ascr-ecx/eth/internal/camera"
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/par"
+	"github.com/ascr-ecx/eth/internal/raster"
+	"github.com/ascr-ecx/eth/internal/telemetry"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// ctrTriangles counts triangles handed to the rasterizer (TACC-Stats
+// analog).
+var ctrTriangles = telemetry.Default.Counter("geom.triangles")
+
+// ShadeOptions configures mesh rendering.
+type ShadeOptions struct {
+	// Colormap maps normalized vertex scalars to color; nil = Viridis.
+	Colormap *fb.Colormap
+	// ScalarRange normalizes vertex scalars; when Lo == Hi the mesh's own
+	// range is used.
+	ScalarLo, ScalarHi float32
+	// Light is the direction toward the light in world space; zero
+	// selects a headlight (from the camera).
+	Light vec.V3
+	// Ambient is the ambient light fraction in [0, 1]; default 0.25.
+	Ambient float64
+}
+
+// DrawMesh projects, shades, and rasterizes m into frame using cam. Flat
+// shading with the geometric normal per triangle, Lambert + ambient —
+// what a fixed-function OpenGL pipeline would do with per-face normals.
+// This is the rendering half of the geometry pipeline; its cost is
+// proportional to the triangle count, not the input data size.
+func DrawMesh(frame *fb.Frame, m *Mesh, cam *camera.Camera, opt ShadeOptions) {
+	if m.TriangleCount() == 0 {
+		return
+	}
+	cmap := opt.Colormap
+	if cmap == nil {
+		cmap = fb.Viridis
+	}
+	lo, hi := opt.ScalarLo, opt.ScalarHi
+	if lo == hi {
+		lo, hi = scalarRange(m.Scalars)
+	}
+	scale := 0.0
+	if hi > lo {
+		scale = 1 / float64(hi-lo)
+	}
+	light := opt.Light
+	if light == (vec.V3{}) {
+		light = cam.Eye.Sub(cam.Center)
+	}
+	light = light.Norm()
+	ambient := opt.Ambient
+	if ambient == 0 {
+		ambient = 0.25
+	}
+
+	w, h := frame.W, frame.H
+	tris := make([]raster.Triangle, m.TriangleCount())
+	keep := make([]bool, m.TriangleCount())
+	smooth := len(m.Normals) == len(m.Verts) && len(m.Verts) > 0
+	par.For(m.TriangleCount(), 0, func(ti int) {
+		t := m.Tris[ti]
+		flatShade := 0.0
+		if !smooth {
+			n := m.Normal(ti)
+			// Two-sided lighting: extraction makes no winding guarantee.
+			flatShade = ambient + (1-ambient)*math.Abs(n.Dot(light))
+		}
+		var out raster.Triangle
+		for c := 0; c < 3; c++ {
+			p := m.Verts[t[c]]
+			x, y, depth, ok := cam.Project(p, w, h)
+			if !ok {
+				return // clip whole triangle at near plane
+			}
+			shade := flatShade
+			if smooth {
+				// Gouraud: per-vertex normals interpolate via vertex
+				// colors, removing the faceting of flat shading.
+				shade = ambient + (1-ambient)*math.Abs(m.Normals[t[c]].Dot(light))
+			}
+			s := float64(m.Scalars[t[c]]-lo) * scale
+			out.V[c] = raster.Vertex{
+				X: x, Y: y, Depth: depth,
+				Color: cmap.Lookup(s).Scale(shade),
+			}
+		}
+		tris[ti] = out
+		keep[ti] = true
+	})
+	compact := tris[:0]
+	for i, k := range keep {
+		if k {
+			compact = append(compact, tris[i])
+		}
+	}
+	ctrTriangles.Add(int64(len(compact)))
+	raster.DrawTriangles(frame, compact, 0)
+}
+
+func scalarRange(vals []float32) (lo, hi float32) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}

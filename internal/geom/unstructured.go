@@ -1,0 +1,162 @@
+package geom
+
+import (
+	"fmt"
+
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/par"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// Contouring for unstructured (tetrahedral) meshes — the §VII extension
+// domain. Marching tetrahedra applies directly: no hexahedral
+// decomposition step is needed, each cell is contoured independently.
+
+// IsosurfaceUnstructured extracts the isoValue contour of the named
+// per-vertex field over a tetrahedral mesh.
+func IsosurfaceUnstructured(u *data.UnstructuredGrid, fieldName string, isoValue float32) (*Mesh, error) {
+	f, err := u.Field(fieldName)
+	if err != nil {
+		return nil, err
+	}
+	value := func(v int32) float32 { return f.Values[v] }
+	scalar := func(p vec.V3) float32 { return isoValue }
+	return contourUnstructured(u, value, isoValue, scalar), nil
+}
+
+// SlicePlaneUnstructured extracts the plane cross-section of a
+// tetrahedral mesh, colored by the named field (interpolated
+// barycentrically within each cut cell via the implicit function).
+func SlicePlaneUnstructured(u *data.UnstructuredGrid, fieldName string, point, normal vec.V3) (*Mesh, error) {
+	f, err := u.Field(fieldName)
+	if err != nil {
+		return nil, err
+	}
+	n := normal.Norm()
+	if n == (vec.V3{}) {
+		return nil, fmt.Errorf("geom: slice plane normal is zero")
+	}
+	value := func(v int32) float32 {
+		return float32(u.Points[v].Sub(point).Dot(n))
+	}
+	// Color by nearest-vertex field value at emitted positions: find the
+	// enclosing tet is overkill for a slice; per-cell interpolation below
+	// uses the vertex scalars directly.
+	return contourUnstructuredInterp(u, value, 0, f), nil
+}
+
+// contourUnstructured contours every tetrahedron of u at iso, with a
+// position-based output scalar.
+func contourUnstructured(u *data.UnstructuredGrid, value func(v int32) float32, iso float32, scalar func(p vec.V3) float32) *Mesh {
+	return contourUnstructuredImpl(u, value, iso, func(tet [4]int32, p vec.V3) float32 {
+		return scalar(p)
+	})
+}
+
+// contourUnstructuredInterp contours u and colors each emitted vertex by
+// interpolating field f within the cut cell (inverse-distance weights to
+// the cell's vertices, exact at vertices and smooth inside).
+func contourUnstructuredInterp(u *data.UnstructuredGrid, value func(v int32) float32, iso float32, f *data.Field) *Mesh {
+	return contourUnstructuredImpl(u, value, iso, func(tet [4]int32, p vec.V3) float32 {
+		var wSum, vSum float64
+		for _, vi := range tet {
+			d := p.Sub(u.Points[vi]).Len()
+			w := 1 / (d + 1e-12)
+			wSum += w
+			vSum += w * float64(f.Values[vi])
+		}
+		return float32(vSum / wSum)
+	})
+}
+
+func contourUnstructuredImpl(u *data.UnstructuredGrid, value func(v int32) float32, iso float32, scalar func(tet [4]int32, p vec.V3) float32) *Mesh {
+	cells := u.Cells()
+	if cells == 0 {
+		return &Mesh{}
+	}
+	// Parallel over cell chunks, each worker filling a private mesh.
+	const chunk = 4096
+	chunks := (cells + chunk - 1) / chunk
+	parts := make([]*Mesh, chunks)
+	par.For(chunks, 0, func(ci int) {
+		m := &Mesh{}
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > cells {
+			hi = cells
+		}
+		for t := lo; t < hi; t++ {
+			tet := u.Tets[t]
+			marchTetIndexed(m, u, tet, value, iso, scalar)
+		}
+		parts[ci] = m
+	})
+	out := &Mesh{}
+	for _, p := range parts {
+		out.Append(p)
+	}
+	return out
+}
+
+// marchTetIndexed contours one tetrahedron given per-vertex values.
+func marchTetIndexed(m *Mesh, u *data.UnstructuredGrid, tet [4]int32, value func(v int32) float32, iso float32, scalar func(tet [4]int32, p vec.V3) float32) {
+	var vals [4]float32
+	var inside [4]bool
+	count := 0
+	for i, v := range tet {
+		vals[i] = value(v)
+		if vals[i] >= iso {
+			inside[i] = true
+			count++
+		}
+	}
+	if count == 0 || count == 4 {
+		return
+	}
+	edgePoint := func(a, b int) vec.V3 {
+		va, vb := vals[a], vals[b]
+		t := 0.5
+		if va != vb {
+			t = float64((iso - va) / (vb - va))
+		}
+		return u.Points[tet[a]].Lerp(u.Points[tet[b]], t)
+	}
+	emit := func(p0, p1, p2 vec.V3) {
+		base := int32(len(m.Verts))
+		m.Verts = append(m.Verts, p0, p1, p2)
+		m.Scalars = append(m.Scalars, scalar(tet, p0), scalar(tet, p1), scalar(tet, p2))
+		m.Tris = append(m.Tris, [3]int32{base, base + 1, base + 2})
+	}
+	switch count {
+	case 1, 3:
+		iso1 := -1
+		for i := 0; i < 4; i++ {
+			if inside[i] == (count == 1) {
+				iso1 = i
+				break
+			}
+		}
+		others := make([]int, 0, 3)
+		for i := 0; i < 4; i++ {
+			if i != iso1 {
+				others = append(others, i)
+			}
+		}
+		emit(edgePoint(iso1, others[0]), edgePoint(iso1, others[1]), edgePoint(iso1, others[2]))
+	case 2:
+		var in2, out2 []int
+		for i := 0; i < 4; i++ {
+			if inside[i] {
+				in2 = append(in2, i)
+			} else {
+				out2 = append(out2, i)
+			}
+		}
+		p00 := edgePoint(in2[0], out2[0])
+		p01 := edgePoint(in2[0], out2[1])
+		p10 := edgePoint(in2[1], out2[0])
+		p11 := edgePoint(in2[1], out2[1])
+		emit(p00, p01, p11)
+		emit(p00, p11, p10)
+	}
+}

@@ -1,0 +1,21 @@
+package metrics_test
+
+import (
+	"os"
+
+	"github.com/ascr-ecx/eth/internal/metrics"
+)
+
+// Build and print a paper-style results table.
+func ExampleTable() {
+	tab := metrics.NewTable("Table I (excerpt)", "Algorithm", "Time (s)")
+	tab.AddRow("Raycasting", 464.4)
+	tab.AddRow("Gaussian Splat", 171.9)
+	_ = tab.Fprint(os.Stdout)
+	// Output:
+	// Table I (excerpt)
+	// Algorithm       Time (s)
+	// --------------  --------
+	// Raycasting      464.4
+	// Gaussian Splat  171.9
+}

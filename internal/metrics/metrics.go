@@ -1,0 +1,177 @@
+// Package metrics computes the paper's evaluation metrics (§V-C) —
+// performance, power, energy, scalability, and image accuracy — and
+// provides the tabular results container every experiment emits, with
+// aligned-text and CSV rendering so cmd/ethbench output can be compared
+// against the paper's tables and figures row by row.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// EnergySavedPct returns the percentage of energy saved by 'other'
+// relative to 'base' (positive = saved), the Table II quantity.
+func EnergySavedPct(baseJ, otherJ float64) float64 {
+	if baseJ == 0 {
+		return 0
+	}
+	return (1 - otherJ/baseJ) * 100
+}
+
+// Speedup returns baseSeconds / otherSeconds.
+func Speedup(baseSeconds, otherSeconds float64) float64 {
+	if otherSeconds == 0 {
+		return math.Inf(1)
+	}
+	return baseSeconds / otherSeconds
+}
+
+// NormalizedPerformance returns the Fig 15 series: performance on n nodes
+// relative to 1 node (reciprocal of execution-time ratio).
+func NormalizedPerformance(t1, tN float64) float64 { return Speedup(t1, tN) }
+
+// Table is a simple column-oriented results table.
+type Table struct {
+	// Title labels the table (e.g. "Table I: Visualization Algorithm
+	// Results for HACC").
+	Title string
+	// Columns are the header names.
+	Columns []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are formatted with %v, floats with 4
+// significant digits.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = formatCell(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Rows returns the formatted rows.
+func (t *Table) Rows() [][]string { return t.rows }
+
+func formatCell(c interface{}) string {
+	switch v := c.(type) {
+	case float64:
+		return formatFloat(v)
+	case float32:
+		return formatFloat(float64(v))
+	default:
+		return fmt.Sprintf("%v", c)
+	}
+}
+
+func formatFloat(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	a := math.Abs(v)
+	switch {
+	case a >= 1e6 || a < 1e-3:
+		return fmt.Sprintf("%.3e", v)
+	case a >= 100:
+		return fmt.Sprintf("%.1f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i == len(cells)-1 {
+				// No padding after the last column: keeps lines free of
+				// trailing whitespace.
+				b.WriteString(cell)
+			} else {
+				fmt.Fprintf(&b, "%-*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table (for tests and logs).
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Fprint(&b)
+	return b.String()
+}
+
+// WriteCSV emits the table as RFC-4180-ish CSV (cells containing commas
+// or quotes are quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeLine := func(cells []string) error {
+		for i, cell := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if _, err := io.WriteString(w, csvEscape(cell)); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeLine(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeLine(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}

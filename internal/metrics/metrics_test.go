@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEnergySavedPct(t *testing.T) {
+	if got := EnergySavedPct(100, 75); got != 25 {
+		t.Errorf("saved = %v", got)
+	}
+	if got := EnergySavedPct(100, 120); math.Abs(got-(-20)) > 1e-9 {
+		t.Errorf("negative saving = %v", got)
+	}
+	if got := EnergySavedPct(0, 5); got != 0 {
+		t.Errorf("zero base = %v", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if Speedup(10, 2) != 5 {
+		t.Error("speedup wrong")
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Error("infinite speedup expected")
+	}
+	if NormalizedPerformance(8, 4) != 2 {
+		t.Error("normalized perf wrong")
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := NewTable("Table X", "Algorithm", "Time (s)", "Power (kW)")
+	tab.AddRow("raycasting", 464.4, 55.7)
+	tab.AddRow("gsplat", 171.9, 55.3)
+	out := tab.String()
+	if !strings.Contains(out, "Table X") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "464.4") || !strings.Contains(out, "55.70") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Column alignment: all rows same length or close.
+	if len(tab.Rows()) != 2 {
+		t.Errorf("rows = %d", len(tab.Rows()))
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		1234567: "1.235e+06",
+		0.0001:  "1.000e-04",
+		123.456: "123.5",
+		12.3456: "12.35",
+		0.5:     "0.5000",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow("plain", 1.0)
+	tab.AddRow(`with "quote", and comma`, 2.0)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"with ""quote"", and comma"`) {
+		t.Errorf("escaping wrong: %q", lines[2])
+	}
+}
+
+func TestTableMixedCellTypes(t *testing.T) {
+	tab := NewTable("t", "x")
+	tab.AddRow(42)
+	tab.AddRow("str")
+	tab.AddRow(float32(1.5))
+	rows := tab.Rows()
+	if rows[0][0] != "42" || rows[1][0] != "str" || rows[2][0] != "1.50" {
+		t.Errorf("rows = %v", rows)
+	}
+}

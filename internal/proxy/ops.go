@@ -1,0 +1,203 @@
+package proxy
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/ascr-ecx/eth/internal/analysis"
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/vtkio"
+)
+
+// writeDataset saves a dataset in the ETHD container.
+func writeDataset(path string, ds data.Dataset) error {
+	return vtkio.WriteFile(path, ds)
+}
+
+// Operation is an in-situ analysis step the visualization proxy applies
+// to every received dataset, alongside rendering — the paper's
+// "easily configurable visualization operations": "since ETH is based on
+// VTK, many operations can be easily added to the pipelines tested, and
+// they can be specific to the data and visualizations that are of
+// interest" (§III). Operations produce compact extracts (catalogs,
+// statistics) rather than pixels.
+type Operation interface {
+	// Name identifies the operation in results and file names.
+	Name() string
+	// Apply processes one time step's dataset. ctx carries step/rank
+	// identity and the artifact directory (may be empty = do not write).
+	Apply(ctx OpContext, ds data.Dataset) (OpResult, error)
+}
+
+// OpContext identifies the step an operation runs in.
+type OpContext struct {
+	Step   int
+	Rank   int
+	OutDir string
+}
+
+// OpResult summarizes one operation application.
+type OpResult struct {
+	// Op is the operation name.
+	Op string
+	// Summary is a one-line human-readable digest.
+	Summary string
+	// ExtractBytes is the size of the extract written (0 if none).
+	ExtractBytes int64
+}
+
+// artifactPath names an operation's per-step output file.
+func (c OpContext) artifactPath(op, ext string) string {
+	return filepath.Join(c.OutDir,
+		fmt.Sprintf("%s_step%03d_rank%d.%s", op, c.Step, c.Rank, ext))
+}
+
+// HaloOperation runs the friends-of-friends halo finder on particle
+// steps and writes the halo catalog as JSON — the cosmology extract of
+// the paper's introduction.
+type HaloOperation struct {
+	// Options forwards to analysis.FOF.
+	Options analysis.FOFOptions
+}
+
+// Name implements Operation.
+func (*HaloOperation) Name() string { return "halos" }
+
+// Apply implements Operation.
+func (h *HaloOperation) Apply(ctx OpContext, ds data.Dataset) (OpResult, error) {
+	cloud, ok := ds.(*data.PointCloud)
+	if !ok {
+		return OpResult{}, fmt.Errorf("proxy: halos operation requires a point cloud, got %v", ds.Kind())
+	}
+	halos, err := analysis.FOF(cloud, h.Options)
+	if err != nil {
+		return OpResult{}, err
+	}
+	res := OpResult{
+		Op:      "halos",
+		Summary: fmt.Sprintf("%d halos from %d particles", len(halos), cloud.Count()),
+	}
+	if ctx.OutDir != "" {
+		raw, err := json.MarshalIndent(halos, "", "  ")
+		if err != nil {
+			return res, err
+		}
+		path := ctx.artifactPath("halos", "json")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			return res, err
+		}
+		res.ExtractBytes = int64(len(raw))
+	}
+	return res, nil
+}
+
+// StatsOperation computes per-field statistics and a histogram for the
+// named field of any dataset kind — the monitoring extract.
+type StatsOperation struct {
+	// Field names the scalar; empty selects "speed" for clouds and
+	// "temperature" for grids.
+	Field string
+	// Bins is the histogram resolution (default 16).
+	Bins int
+}
+
+// Name implements Operation.
+func (*StatsOperation) Name() string { return "stats" }
+
+// statsExtract is the JSON document StatsOperation writes.
+type statsExtract struct {
+	Field     string              `json:"field"`
+	Stats     analysis.FieldStats `json:"stats"`
+	BinEdges  []float64           `json:"binEdges"`
+	BinCounts []int               `json:"binCounts"`
+}
+
+// Apply implements Operation.
+func (s *StatsOperation) Apply(ctx OpContext, ds data.Dataset) (OpResult, error) {
+	name := s.Field
+	var values []float32
+	switch d := ds.(type) {
+	case *data.PointCloud:
+		if name == "" {
+			name = "speed"
+		}
+		f, err := d.Field(name)
+		if err != nil {
+			return OpResult{}, err
+		}
+		values = f.Values
+	case *data.StructuredGrid:
+		if name == "" {
+			name = "temperature"
+		}
+		f, err := d.Field(name)
+		if err != nil {
+			return OpResult{}, err
+		}
+		values = f.Values
+	case *data.UnstructuredGrid:
+		if name == "" {
+			name = "temperature"
+		}
+		f, err := d.Field(name)
+		if err != nil {
+			return OpResult{}, err
+		}
+		values = f.Values
+	default:
+		return OpResult{}, fmt.Errorf("proxy: stats operation: unsupported kind %v", ds.Kind())
+	}
+	bins := s.Bins
+	if bins <= 0 {
+		bins = 16
+	}
+	st := analysis.Stats(values)
+	edges, counts := analysis.Histogram(values, bins)
+	res := OpResult{
+		Op:      "stats",
+		Summary: fmt.Sprintf("%s: %s", name, st),
+	}
+	if ctx.OutDir != "" {
+		raw, err := json.MarshalIndent(statsExtract{
+			Field: name, Stats: st, BinEdges: edges, BinCounts: counts,
+		}, "", "  ")
+		if err != nil {
+			return res, err
+		}
+		if err := os.WriteFile(ctx.artifactPath("stats", "json"), raw, 0o644); err != nil {
+			return res, err
+		}
+		res.ExtractBytes = int64(len(raw))
+	}
+	return res, nil
+}
+
+// SaveOperation writes the received dataset back to disk in the ETHD
+// container — useful for capturing exactly what crossed the in-situ
+// interface (post-sampling), e.g. to validate sampling pipelines.
+type SaveOperation struct{}
+
+// Name implements Operation.
+func (*SaveOperation) Name() string { return "save" }
+
+// Apply implements Operation.
+func (*SaveOperation) Apply(ctx OpContext, ds data.Dataset) (OpResult, error) {
+	if ctx.OutDir == "" {
+		return OpResult{Op: "save", Summary: "skipped (no output directory)"}, nil
+	}
+	path := ctx.artifactPath("data", "ethd")
+	if err := writeDataset(path, ds); err != nil {
+		return OpResult{}, err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return OpResult{}, err
+	}
+	return OpResult{
+		Op:           "save",
+		Summary:      fmt.Sprintf("wrote %s", filepath.Base(path)),
+		ExtractBytes: info.Size(),
+	}, nil
+}

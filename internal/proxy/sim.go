@@ -1,0 +1,199 @@
+// Package proxy implements the paper's two-process architecture (§III-A):
+// a simulation proxy that replays previously exported simulation data in
+// place of the real simulation, and a visualization proxy that receives
+// each time step over the in-situ interface and renders it. The basic
+// unit of granularity is a pair of such processes (Figure 4b); pairs can
+// be coupled in one process or connected over the socket layer.
+package proxy
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/sampling"
+	"github.com/ascr-ecx/eth/internal/transport"
+	"github.com/ascr-ecx/eth/internal/vtkio"
+)
+
+// StepSource supplies the simulation data stream, one dataset per time
+// step. Implementations: DiskSource replays exported dumps (the paper's
+// design); generator-backed sources synthesize data on the fly.
+type StepSource interface {
+	// Steps returns the number of time steps available.
+	Steps() int
+	// Step returns the dataset for time step i (0-based).
+	Step(i int) (data.Dataset, error)
+}
+
+// DiskSource replays datasets from files — the paper's "preliminary run
+// of the simulation writes data out; our simulation proxy then reads the
+// simulation data into memory and presents it to the simulation/analysis
+// interface" (§I).
+type DiskSource struct {
+	paths []string
+}
+
+// NewDiskSource creates a source over the given dataset files, one per
+// time step, replayed in order.
+func NewDiskSource(paths ...string) (*DiskSource, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("proxy: disk source needs at least one file")
+	}
+	return &DiskSource{paths: paths}, nil
+}
+
+// NewDiskSourceGlob creates a source over files matching pattern, in
+// lexical order.
+func NewDiskSourceGlob(pattern string) (*DiskSource, error) {
+	paths, err := filepath.Glob(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return NewDiskSource(paths...)
+}
+
+// Steps implements StepSource.
+func (s *DiskSource) Steps() int { return len(s.paths) }
+
+// Step implements StepSource.
+func (s *DiskSource) Step(i int) (data.Dataset, error) {
+	if i < 0 || i >= len(s.paths) {
+		return nil, fmt.Errorf("proxy: step %d out of range [0, %d)", i, len(s.paths))
+	}
+	return vtkio.ReadFile(s.paths[i])
+}
+
+// FuncSource adapts a generator function to a StepSource.
+type FuncSource struct {
+	N  int
+	Fn func(step int) (data.Dataset, error)
+}
+
+// Steps implements StepSource.
+func (s *FuncSource) Steps() int { return s.N }
+
+// Step implements StepSource.
+func (s *FuncSource) Step(i int) (data.Dataset, error) { return s.Fn(i) }
+
+// MemSource serves pre-built datasets (used by tests and the tight
+// coupling driver).
+type MemSource struct {
+	Data []data.Dataset
+}
+
+// Steps implements StepSource.
+func (s *MemSource) Steps() int { return len(s.Data) }
+
+// Step implements StepSource.
+func (s *MemSource) Step(i int) (data.Dataset, error) {
+	if i < 0 || i >= len(s.Data) {
+		return nil, fmt.Errorf("proxy: step %d out of range", i)
+	}
+	return s.Data[i], nil
+}
+
+// SimConfig configures a simulation-proxy rank.
+type SimConfig struct {
+	// Rank identifies this proxy pair.
+	Rank int
+	// Ranks is the total pair count; the proxy serves piece Rank of each
+	// step partitioned Ranks ways. Ranks <= 1 serves whole steps.
+	Ranks int
+	// SamplingRatio applies spatial sampling before the data crosses the
+	// in-situ interface (sampling on the simulation side, §IV-B).
+	SamplingRatio float64
+	// SamplingMethod selects the point-sampling strategy.
+	SamplingMethod sampling.Method
+	// Seed drives sampling determinism.
+	Seed int64
+	// Compress enables DEFLATE framing on the in-situ interface — the
+	// compression lever of the paper's introduction, traded against CPU.
+	Compress bool
+}
+
+// SimProxy is one simulation-proxy rank.
+type SimProxy struct {
+	cfg SimConfig
+	src StepSource
+}
+
+// NewSimProxy creates a simulation proxy over the given source.
+func NewSimProxy(cfg SimConfig, src StepSource) (*SimProxy, error) {
+	if src == nil {
+		return nil, fmt.Errorf("proxy: nil step source")
+	}
+	if cfg.Ranks < 0 || (cfg.Ranks > 0 && (cfg.Rank < 0 || cfg.Rank >= cfg.Ranks)) {
+		return nil, fmt.Errorf("proxy: rank %d outside [0, %d)", cfg.Rank, cfg.Ranks)
+	}
+	if cfg.SamplingRatio == 0 {
+		cfg.SamplingRatio = 1
+	}
+	if cfg.SamplingRatio < 0 || cfg.SamplingRatio > 1 {
+		return nil, fmt.Errorf("proxy: sampling ratio %v outside (0, 1]", cfg.SamplingRatio)
+	}
+	return &SimProxy{cfg: cfg, src: src}, nil
+}
+
+// Steps returns the number of time steps this proxy will serve.
+func (s *SimProxy) Steps() int { return s.src.Steps() }
+
+// StepData prepares the dataset this rank presents to the in-situ
+// interface for step i: the rank's spatial piece, spatially sampled.
+func (s *SimProxy) StepData(i int) (data.Dataset, error) {
+	ds, err := s.src.Step(i)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Ranks > 1 {
+		pieces := ds.Partition(s.cfg.Ranks)
+		if s.cfg.Rank >= len(pieces) {
+			return nil, fmt.Errorf("proxy: partition produced %d pieces for rank %d", len(pieces), s.cfg.Rank)
+		}
+		ds = pieces[s.cfg.Rank]
+	}
+	return applySampling(ds, s.cfg.SamplingRatio, s.cfg.SamplingMethod, s.cfg.Seed)
+}
+
+// applySampling thins a dataset of either kind.
+func applySampling(ds data.Dataset, ratio float64, method sampling.Method, seed int64) (data.Dataset, error) {
+	if ratio >= 1 {
+		return ds, nil
+	}
+	switch d := ds.(type) {
+	case *data.PointCloud:
+		return sampling.Points(d, ratio, method, seed)
+	case *data.StructuredGrid:
+		return sampling.Grid(d, ratio)
+	default:
+		return nil, fmt.Errorf("proxy: cannot sample dataset kind %v", ds.Kind())
+	}
+}
+
+// Serve runs the paper's §III-C simulation-proxy protocol over an
+// established connection: send each step's dataset, wait for the
+// visualization proxy's ack, then signal completion. It returns the
+// total payload bytes sent.
+func (s *SimProxy) Serve(conn *transport.Conn) (int64, error) {
+	conn.SetCompression(s.cfg.Compress)
+	for step := 0; step < s.Steps(); step++ {
+		ds, err := s.StepData(step)
+		if err != nil {
+			return conn.BytesSent, fmt.Errorf("proxy: preparing step %d: %w", step, err)
+		}
+		if err := conn.SendDataset(ds); err != nil {
+			return conn.BytesSent, fmt.Errorf("proxy: sending step %d: %w", step, err)
+		}
+		typ, _, ackStep, err := conn.Recv()
+		if err != nil {
+			return conn.BytesSent, fmt.Errorf("proxy: waiting for ack %d: %w", step, err)
+		}
+		if typ != transport.MsgAck || ackStep != int64(step) {
+			return conn.BytesSent, fmt.Errorf("proxy: expected ack for step %d, got type %d step %d", step, typ, ackStep)
+		}
+	}
+	if err := conn.SendDone(); err != nil {
+		return conn.BytesSent, err
+	}
+	return conn.BytesSent, nil
+}

@@ -1,0 +1,202 @@
+package proxy
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/ascr-ecx/eth/internal/camera"
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/render"
+	"github.com/ascr-ecx/eth/internal/telemetry"
+	"github.com/ascr-ecx/eth/internal/transport"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// Proxy telemetry counters.
+var (
+	ctrSteps  = telemetry.Default.Counter("proxy.steps")
+	ctrImages = telemetry.Default.Counter("proxy.images")
+)
+
+// VizConfig configures a visualization-proxy rank.
+type VizConfig struct {
+	// Rank identifies this proxy pair.
+	Rank int
+	// Width, Height are the framebuffer dimensions.
+	Width, Height int
+	// Algorithm names the rendering back-end (render registry).
+	Algorithm string
+	// Options carries rendering parameters.
+	Options render.Options
+	// ImagesPerStep is how many renders each step receives (the paper
+	// renders hundreds of frames per step by varying camera/isovalue).
+	ImagesPerStep int
+	// OutDir, when non-empty, receives PNG artifacts named
+	// step<NNN>_img<MMM>_rank<R>.png.
+	OutDir string
+	// Operations are additional in-situ analysis steps applied to every
+	// received dataset after rendering (§III "easily configurable
+	// visualization operations").
+	Operations []Operation
+}
+
+// StepResult instruments one rendered time step.
+type StepResult struct {
+	Step       int
+	Elements   int
+	Images     int
+	Render     time.Duration
+	LastFrame  *fb.Frame
+	Primitives int
+	// Ops holds the results of the configured analysis operations.
+	Ops []OpResult
+}
+
+// VizProxy is one visualization-proxy rank.
+type VizProxy struct {
+	cfg      VizConfig
+	renderer render.Renderer
+	// Results accumulates per-step instrumentation.
+	Results []StepResult
+}
+
+// NewVizProxy creates a visualization proxy.
+func NewVizProxy(cfg VizConfig) (*VizProxy, error) {
+	if cfg.Width <= 0 || cfg.Height <= 0 {
+		return nil, fmt.Errorf("proxy: bad frame size %dx%d", cfg.Width, cfg.Height)
+	}
+	if cfg.ImagesPerStep <= 0 {
+		cfg.ImagesPerStep = 1
+	}
+	if cfg.Algorithm == "" {
+		return nil, fmt.Errorf("proxy: no rendering algorithm configured")
+	}
+	r, err := render.New(cfg.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	return &VizProxy{cfg: cfg, renderer: r}, nil
+}
+
+// RenderStep renders one received dataset: ImagesPerStep frames with the
+// camera orbiting the data (matching the paper's many-images-per-step
+// protocol) and, for isosurface algorithms, a sliding isovalue.
+func (v *VizProxy) RenderStep(step int, ds data.Dataset) (StepResult, error) {
+	t0 := time.Now()
+	res := StepResult{Step: step, Elements: ds.Count(), Images: v.cfg.ImagesPerStep}
+	bounds := ds.Bounds()
+	var frame *fb.Frame
+	for img := 0; img < v.cfg.ImagesPerStep; img++ {
+		cam := orbitCamera(bounds, img, v.cfg.ImagesPerStep)
+		opt := v.cfg.Options
+		if opt.IsoValue == 0 && isoAlgorithms[v.cfg.Algorithm] {
+			// Sliding isovalue over the sweep (§IV-A: "a varying
+			// isovalue for 1000 images").
+			opt.IsoValue = 0.25 + 0.5*float32(img)/float32(v.cfg.ImagesPerStep)
+		}
+		frame = fb.New(v.cfg.Width, v.cfg.Height)
+		stats, err := v.renderer.Render(frame, ds, &cam, opt)
+		if err != nil {
+			return res, fmt.Errorf("proxy: rendering step %d image %d: %w", step, img, err)
+		}
+		res.Primitives += stats.Primitives
+		if v.cfg.OutDir != "" {
+			name := fmt.Sprintf("step%03d_img%03d_rank%d.png", step, img, v.cfg.Rank)
+			if err := frame.SavePNG(filepath.Join(v.cfg.OutDir, name)); err != nil {
+				return res, err
+			}
+		}
+	}
+	// Run the configured analysis operations on the step's data.
+	for _, op := range v.cfg.Operations {
+		opRes, err := op.Apply(OpContext{Step: step, Rank: v.cfg.Rank, OutDir: v.cfg.OutDir}, ds)
+		if err != nil {
+			return res, fmt.Errorf("proxy: operation %s on step %d: %w", op.Name(), step, err)
+		}
+		res.Ops = append(res.Ops, opRes)
+	}
+	res.Render = time.Since(t0)
+	res.LastFrame = frame
+	v.Results = append(v.Results, res)
+	ctrSteps.Inc()
+	ctrImages.Add(int64(res.Images))
+	return res, nil
+}
+
+// isoAlgorithms lists the renderers whose IsoValue slides across a
+// multi-image step when unset (§IV-A: "a varying isovalue for 1000
+// images").
+var isoAlgorithms = map[string]bool{
+	"vtk-iso": true,
+	"ray-iso": true,
+	"uns-iso": true,
+}
+
+// orbitCamera frames bounds from an azimuth that advances with the image
+// index, so multi-image steps exercise distinct views deterministically.
+func orbitCamera(bounds vec.AABB, img, total int) camera.Camera {
+	c := bounds.Center()
+	d := bounds.Diagonal()
+	if d == 0 {
+		d = 1
+	}
+	angle := 2 * math.Pi * float64(img) / float64(maxInt(total, 1))
+	dir := vec.New(math.Cos(angle), 0.5, math.Sin(angle)).Norm()
+	cam := camera.LookAt(c.Add(dir.Scale(d*1.2)), c, vec.New(0, 1, 0))
+	cam.FitClip(bounds)
+	return cam
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Receive runs the §III-C visualization-proxy protocol over an
+// established connection: receive datasets, render, ack, until done.
+func (v *VizProxy) Receive(conn *transport.Conn) error {
+	step := 0
+	for {
+		typ, ds, _, err := conn.Recv()
+		if err != nil {
+			return fmt.Errorf("proxy: receiving step %d: %w", step, err)
+		}
+		switch typ {
+		case transport.MsgDone:
+			return nil
+		case transport.MsgDataset:
+			if _, err := v.RenderStep(step, ds); err != nil {
+				return err
+			}
+			if err := conn.SendAck(int64(step)); err != nil {
+				return err
+			}
+			step++
+		default:
+			return fmt.Errorf("proxy: unexpected message type %d at step %d", typ, step)
+		}
+	}
+}
+
+// EnsureOutDir creates the artifact directory if configured.
+func (v *VizProxy) EnsureOutDir() error {
+	if v.cfg.OutDir == "" {
+		return nil
+	}
+	return os.MkdirAll(v.cfg.OutDir, 0o755)
+}
+
+// TotalRenderTime sums render time across completed steps.
+func (v *VizProxy) TotalRenderTime() time.Duration {
+	var total time.Duration
+	for _, r := range v.Results {
+		total += r.Render
+	}
+	return total
+}

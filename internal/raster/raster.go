@@ -1,0 +1,276 @@
+// Package raster is ETH's software rasterizer — the stand-in for the
+// OpenGL back-end that VTK's geometry pipeline hands its triangles to.
+// It supports depth-tested triangles with Gouraud-interpolated colors,
+// fixed-size point sprites (the paper's "VTK points" primitive), and
+// shaded sphere impostors (the primitive behind Gaussian splatting).
+//
+// Parallelism: the frame is divided into horizontal bands; primitives are
+// binned to the bands their bounding boxes overlap and each band is
+// rasterized by one worker. Bands never share pixels, so no locks are
+// needed in the inner loop — the same strategy tile-based GPU and software
+// rasterizers (e.g. Mesa's llvmpipe) use.
+package raster
+
+import (
+	"math"
+
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/par"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// Vertex is a screen-space vertex: X, Y in pixels, Depth in camera units
+// (smaller = closer), and a linear RGB color.
+type Vertex struct {
+	X, Y  float64
+	Depth float64
+	Color vec.V3
+}
+
+// Triangle is a screen-space triangle with per-vertex attributes.
+type Triangle struct {
+	V [3]Vertex
+}
+
+// Sprite is a screen-space point: a square of Size pixels on a side
+// (Size <= 1 renders one pixel), depth tested at a single depth.
+type Sprite struct {
+	X, Y  float64
+	Depth float64
+	Size  int
+	Color vec.V3
+}
+
+// Impostor is a screen-space sphere impostor: a disk of Radius pixels
+// shaded as a sphere lit by the light direction passed to DrawImpostors.
+// WorldRadius carries the sphere radius in camera units so the depth
+// buffer gets true sphere depths.
+type Impostor struct {
+	X, Y        float64
+	Depth       float64
+	Radius      float64 // pixels
+	WorldRadius float64 // camera units
+	Color       vec.V3
+}
+
+// DefaultBandHeight is the scanline-band granularity for parallel
+// rasterization. DESIGN.md lists this as an ablation knob
+// (BenchmarkAblationRasterTiling); DrawTrianglesBanded exposes it.
+const DefaultBandHeight = 16
+
+// DrawTriangles rasterizes tris into f with depth testing and Gouraud
+// color interpolation. workers <= 0 selects the default pool size.
+func DrawTriangles(f *fb.Frame, tris []Triangle, workers int) {
+	DrawTrianglesBanded(f, tris, workers, DefaultBandHeight)
+}
+
+// DrawTrianglesBanded is DrawTriangles with an explicit scanline-band
+// height — smaller bands balance load better, larger bands amortize
+// binning; the ablation bench sweeps this trade-off.
+func DrawTrianglesBanded(f *fb.Frame, tris []Triangle, workers, bandHeight int) {
+	if len(tris) == 0 {
+		return
+	}
+	if bandHeight < 1 {
+		bandHeight = 1
+	}
+	bands := (f.H + bandHeight - 1) / bandHeight
+	bins := make([][]int32, bands)
+	for i, t := range tris {
+		minY := math.Min(t.V[0].Y, math.Min(t.V[1].Y, t.V[2].Y))
+		maxY := math.Max(t.V[0].Y, math.Max(t.V[1].Y, t.V[2].Y))
+		b0 := clampInt(int(minY)/bandHeight, 0, bands-1)
+		b1 := clampInt(int(maxY)/bandHeight, 0, bands-1)
+		if maxY < 0 || minY >= float64(f.H) {
+			continue
+		}
+		for b := b0; b <= b1; b++ {
+			bins[b] = append(bins[b], int32(i))
+		}
+	}
+	par.For(bands, workers, func(b int) {
+		y0 := b * bandHeight
+		y1 := minInt(y0+bandHeight, f.H)
+		for _, ti := range bins[b] {
+			rasterizeTriangle(f, &tris[ti], y0, y1)
+		}
+	})
+}
+
+// rasterizeTriangle scan-converts t restricted to scanlines [y0, y1).
+func rasterizeTriangle(f *fb.Frame, t *Triangle, y0, y1 int) {
+	v := &t.V
+	// Signed doubled area; degenerate triangles are skipped. A negative
+	// area means opposite winding — rasterize both windings (no culling),
+	// since extraction algorithms do not guarantee orientation.
+	area := edge(v[0].X, v[0].Y, v[1].X, v[1].Y, v[2].X, v[2].Y)
+	if area == 0 {
+		return
+	}
+	inv := 1 / area
+
+	minX := clampInt(int(math.Floor(min3(v[0].X, v[1].X, v[2].X))), 0, f.W-1)
+	maxX := clampInt(int(math.Ceil(max3(v[0].X, v[1].X, v[2].X))), 0, f.W-1)
+	minY := clampInt(int(math.Floor(min3(v[0].Y, v[1].Y, v[2].Y))), y0, y1-1)
+	maxY := clampInt(int(math.Ceil(max3(v[0].Y, v[1].Y, v[2].Y))), y0, y1-1)
+
+	for py := minY; py <= maxY; py++ {
+		cy := float64(py) + 0.5
+		for px := minX; px <= maxX; px++ {
+			cx := float64(px) + 0.5
+			w0 := edge(v[1].X, v[1].Y, v[2].X, v[2].Y, cx, cy) * inv
+			w1 := edge(v[2].X, v[2].Y, v[0].X, v[0].Y, cx, cy) * inv
+			w2 := edge(v[0].X, v[0].Y, v[1].X, v[1].Y, cx, cy) * inv
+			if w0 < 0 || w1 < 0 || w2 < 0 {
+				continue
+			}
+			depth := w0*v[0].Depth + w1*v[1].Depth + w2*v[2].Depth
+			if depth <= 0 {
+				continue
+			}
+			color := v[0].Color.Scale(w0).
+				Add(v[1].Color.Scale(w1)).
+				Add(v[2].Color.Scale(w2))
+			f.DepthSet(px, py, depth, color)
+		}
+	}
+}
+
+// edge is the 2D cross product (b-a) x (c-a): positive when c is left of
+// the directed edge a->b.
+func edge(ax, ay, bx, by, cx, cy float64) float64 {
+	return (bx-ax)*(cy-ay) - (by-ay)*(cx-ax)
+}
+
+// DrawSprites renders fixed-size square point sprites — the "VTK points"
+// technique: every particle maps to a fixed-size, fixed-color block
+// (usually 1-3 pixels on a side, §IV-C).
+func DrawSprites(f *fb.Frame, sprites []Sprite, workers int) {
+	if len(sprites) == 0 {
+		return
+	}
+	const bandHeight = DefaultBandHeight
+	bands := (f.H + bandHeight - 1) / bandHeight
+	bins := make([][]int32, bands)
+	for i := range sprites {
+		s := &sprites[i]
+		half := float64(maxInt(s.Size, 1)) / 2
+		if s.Y+half < 0 || s.Y-half >= float64(f.H) {
+			continue
+		}
+		b0 := clampInt(int(s.Y-half)/bandHeight, 0, bands-1)
+		b1 := clampInt(int(s.Y+half)/bandHeight, 0, bands-1)
+		for b := b0; b <= b1; b++ {
+			bins[b] = append(bins[b], int32(i))
+		}
+	}
+	par.For(bands, workers, func(b int) {
+		y0 := b * bandHeight
+		y1 := minInt(y0+bandHeight, f.H)
+		for _, si := range bins[b] {
+			s := &sprites[si]
+			size := maxInt(s.Size, 1)
+			px0 := int(s.X - float64(size)/2 + 0.5)
+			py0 := int(s.Y - float64(size)/2 + 0.5)
+			for dy := 0; dy < size; dy++ {
+				py := py0 + dy
+				if py < y0 || py >= y1 {
+					continue
+				}
+				for dx := 0; dx < size; dx++ {
+					f.DepthSet(px0+dx, py, s.Depth, s.Color)
+				}
+			}
+		}
+	})
+}
+
+// DrawImpostors renders shaded sphere impostors: each point becomes a
+// screen-space disk whose per-pixel normal reconstructs a sphere, shaded
+// with a Lambertian term plus ambient — the paper's Gaussian splatter,
+// which "manipulates the triangle normal at each pixel to model a
+// sphere" (§IV-C). light is the direction toward the light in camera
+// space (+Z toward the viewer).
+func DrawImpostors(f *fb.Frame, imps []Impostor, light vec.V3, workers int) {
+	if len(imps) == 0 {
+		return
+	}
+	l := light.Norm()
+	const bandHeight = DefaultBandHeight
+	bands := (f.H + bandHeight - 1) / bandHeight
+	bins := make([][]int32, bands)
+	for i := range imps {
+		s := &imps[i]
+		r := math.Max(s.Radius, 0.5)
+		if s.Y+r < 0 || s.Y-r >= float64(f.H) {
+			continue
+		}
+		b0 := clampInt(int(s.Y-r)/bandHeight, 0, bands-1)
+		b1 := clampInt(int(s.Y+r)/bandHeight, 0, bands-1)
+		for b := b0; b <= b1; b++ {
+			bins[b] = append(bins[b], int32(i))
+		}
+	}
+	par.For(bands, workers, func(b int) {
+		y0 := b * bandHeight
+		y1 := minInt(y0+bandHeight, f.H)
+		for _, si := range bins[b] {
+			s := &imps[si]
+			r := math.Max(s.Radius, 0.5)
+			px0 := clampInt(int(s.X-r), 0, f.W-1)
+			px1 := clampInt(int(s.X+r)+1, 0, f.W-1)
+			py0 := clampInt(int(s.Y-r), y0, y1-1)
+			py1 := clampInt(int(s.Y+r)+1, y0, y1-1)
+			invR := 1 / r
+			for py := py0; py <= py1; py++ {
+				dy := (float64(py) + 0.5 - s.Y) * invR
+				for px := px0; px <= px1; px++ {
+					dx := (float64(px) + 0.5 - s.X) * invR
+					d2 := dx*dx + dy*dy
+					if d2 > 1 {
+						continue
+					}
+					// Reconstruct the sphere normal at this pixel.
+					nz := math.Sqrt(1 - d2)
+					n := vec.V3{X: dx, Y: -dy, Z: nz}
+					lambert := n.Dot(l)
+					if lambert < 0 {
+						lambert = 0
+					}
+					shade := 0.25 + 0.75*lambert
+					// True sphere depth: front surface bulges toward the
+					// viewer by nz * worldRadius.
+					depth := s.Depth - nz*s.WorldRadius
+					f.DepthSet(px, py, depth, s.Color.Scale(shade))
+				}
+			}
+		}
+	})
+}
+
+func min3(a, b, c float64) float64 { return math.Min(a, math.Min(b, c)) }
+func max3(a, b, c float64) float64 { return math.Max(a, math.Max(b, c)) }
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,21 @@
+package render
+
+import (
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/raster"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// screenHeadlight lights sphere impostors from slightly above-left of the
+// viewer in screen space (impostor normals live in screen space, +Z
+// toward the viewer), giving the roundness cue the paper's Gaussian
+// splatter shader produces.
+var screenHeadlight = vec.New(-0.3, 0.4, 1).Norm()
+
+func drawSprites(frame *fb.Frame, sprites []raster.Sprite) {
+	raster.DrawSprites(frame, sprites, 0)
+}
+
+func drawImpostors(frame *fb.Frame, imps []raster.Impostor) {
+	raster.DrawImpostors(frame, imps, screenHeadlight, 0)
+}

@@ -1,0 +1,500 @@
+// Package rt implements ETH's raycasting pipeline — the geometry-free
+// renderer of the paper (§IV-C): spheres for particle data via a bounding
+// volume hierarchy, and slices / ray-marched isosurfaces for volume data.
+// Its cost structure mirrors OSPRay-style CPU raycasters: an O(N log N)
+// acceleration-structure build followed by per-ray work that is sub-linear
+// in the particle count and independent of it for fixed ray budgets —
+// the asymmetry behind the paper's Findings 3 and 7.
+package rt
+
+import (
+	"math"
+	"sort"
+
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/par"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// BuildStrategy selects the BVH construction algorithm; DESIGN.md lists
+// this as an ablation dimension.
+type BuildStrategy uint8
+
+const (
+	// MedianSplit splits at the object median along the longest axis —
+	// fast O(N log N) build, decent trees.
+	MedianSplit BuildStrategy = iota
+	// BinnedSAH evaluates a binned surface-area heuristic per split —
+	// slower build, faster traversal on irregular distributions.
+	BinnedSAH
+)
+
+// String implements fmt.Stringer.
+func (s BuildStrategy) String() string {
+	if s == BinnedSAH {
+		return "binned-sah"
+	}
+	return "median-split"
+}
+
+// leafSize is the maximum primitives per leaf.
+const leafSize = 8
+
+// node is a BVH node. Leaves have count > 0 and left as the first
+// primitive index; internal nodes have count == 0 and left as the index
+// of the first child (children are adjacent).
+type node struct {
+	bounds vec.AABB
+	left   int32
+	count  int32
+}
+
+// SphereBVH is a bounding volume hierarchy over a set of spheres with a
+// common radius, built from a particle dataset. Primitive order is
+// shuffled during construction; prim[i] maps BVH order back to particle
+// index.
+type SphereBVH struct {
+	nodes  []node
+	prim   []int32
+	cx     []float32 // particle centers in BVH primitive order
+	cy     []float32
+	cz     []float32
+	radius float64
+	// NodesBuilt and LeavesBuilt are build statistics exposed for the
+	// instrumentation experiments.
+	NodesBuilt  int
+	LeavesBuilt int
+}
+
+// BuildSphereBVH constructs the hierarchy over all particles of p, each a
+// sphere of the given radius. Build cost is O(N log N) — the "additional
+// setup phase" the paper attributes raycasting's extra computation to.
+func BuildSphereBVH(p *data.PointCloud, radius float64, strategy BuildStrategy) *SphereBVH {
+	n := p.Count()
+	b := &SphereBVH{
+		prim:   make([]int32, n),
+		cx:     make([]float32, n),
+		cy:     make([]float32, n),
+		cz:     make([]float32, n),
+		radius: radius,
+	}
+	for i := 0; i < n; i++ {
+		b.prim[i] = int32(i)
+	}
+	// Work on copies of the coordinates in primitive order.
+	copy(b.cx, p.X)
+	copy(b.cy, p.Y)
+	copy(b.cz, p.Z)
+	if n == 0 {
+		b.nodes = []node{{bounds: vec.EmptyAABB()}}
+		return b
+	}
+	b.nodes = make([]node, 0, 2*n/leafSize+2)
+	b.nodes = append(b.nodes, node{})
+	b.build(0, 0, n, strategy, 0)
+	b.NodesBuilt = len(b.nodes)
+	return b
+}
+
+// centroid returns the center of primitive i (in primitive order).
+func (b *SphereBVH) centroid(i int) vec.V3 {
+	return vec.V3{X: float64(b.cx[i]), Y: float64(b.cy[i]), Z: float64(b.cz[i])}
+}
+
+// primBounds returns the bounds of primitives [lo, hi) expanded by the
+// sphere radius.
+func (b *SphereBVH) primBounds(lo, hi int) vec.AABB {
+	box := vec.EmptyAABB()
+	for i := lo; i < hi; i++ {
+		box = box.Extend(b.centroid(i))
+	}
+	return box.Expand(b.radius)
+}
+
+// build recursively constructs the subtree for primitives [lo, hi) at
+// node index ni.
+func (b *SphereBVH) build(ni, lo, hi int, strategy BuildStrategy, depth int) {
+	b.nodes[ni].bounds = b.primBounds(lo, hi)
+	count := hi - lo
+	if count <= leafSize || depth > 60 {
+		b.nodes[ni].left = int32(lo)
+		b.nodes[ni].count = int32(count)
+		b.LeavesBuilt++
+		return
+	}
+	var mid int
+	switch strategy {
+	case BinnedSAH:
+		mid = b.sahSplit(lo, hi)
+	default:
+		mid = b.medianSplit(lo, hi)
+	}
+	if mid <= lo || mid >= hi {
+		mid = (lo + hi) / 2
+	}
+	left := len(b.nodes)
+	b.nodes = append(b.nodes, node{}, node{})
+	b.nodes[ni].left = int32(left)
+	b.nodes[ni].count = 0
+	b.build(left, lo, mid, strategy, depth+1)
+	b.build(left+1, mid, hi, strategy, depth+1)
+}
+
+// medianSplit partitions [lo, hi) at the median of the longest centroid
+// axis and returns the split point.
+func (b *SphereBVH) medianSplit(lo, hi int) int {
+	box := vec.EmptyAABB()
+	for i := lo; i < hi; i++ {
+		box = box.Extend(b.centroid(i))
+	}
+	axis := box.LongestAxis()
+	mid := (lo + hi) / 2
+	b.nthElement(lo, hi, mid, axis)
+	return mid
+}
+
+// sahSplit evaluates a 16-bin surface-area heuristic on the longest axis
+// and partitions at the cheapest bin boundary.
+func (b *SphereBVH) sahSplit(lo, hi int) int {
+	const bins = 16
+	cb := vec.EmptyAABB()
+	for i := lo; i < hi; i++ {
+		cb = cb.Extend(b.centroid(i))
+	}
+	axis := cb.LongestAxis()
+	minC := cb.Min.Axis(axis)
+	extent := cb.Max.Axis(axis) - minC
+	if extent <= 0 {
+		return (lo + hi) / 2
+	}
+	type bin struct {
+		bounds vec.AABB
+		count  int
+	}
+	var bs [bins]bin
+	for i := range bs {
+		bs[i].bounds = vec.EmptyAABB()
+	}
+	binOf := func(i int) int {
+		f := (b.centroid(i).Axis(axis) - minC) / extent * bins
+		k := int(f)
+		if k >= bins {
+			k = bins - 1
+		}
+		return k
+	}
+	for i := lo; i < hi; i++ {
+		k := binOf(i)
+		bs[k].bounds = bs[k].bounds.Extend(b.centroid(i))
+		bs[k].count++
+	}
+	// Sweep to find the cheapest split plane.
+	var leftArea, rightArea [bins]float64
+	var leftCount, rightCount [bins]int
+	acc := vec.EmptyAABB()
+	cnt := 0
+	for i := 0; i < bins-1; i++ {
+		acc = acc.Union(bs[i].bounds)
+		cnt += bs[i].count
+		leftArea[i] = acc.SurfaceArea()
+		leftCount[i] = cnt
+	}
+	acc = vec.EmptyAABB()
+	cnt = 0
+	for i := bins - 1; i > 0; i-- {
+		acc = acc.Union(bs[i].bounds)
+		cnt += bs[i].count
+		rightArea[i-1] = acc.SurfaceArea()
+		rightCount[i-1] = cnt
+	}
+	bestCost := math.Inf(1)
+	bestBin := bins / 2
+	for i := 0; i < bins-1; i++ {
+		if leftCount[i] == 0 || rightCount[i] == 0 {
+			continue
+		}
+		cost := leftArea[i]*float64(leftCount[i]) + rightArea[i]*float64(rightCount[i])
+		if cost < bestCost {
+			bestCost = cost
+			bestBin = i
+		}
+	}
+	// Partition primitives by bin.
+	mid := lo
+	for i := lo; i < hi; i++ {
+		if binOf(i) <= bestBin {
+			b.swap(mid, i)
+			mid++
+		}
+	}
+	return mid
+}
+
+// nthElement partially sorts [lo, hi) so that index n holds the value it
+// would after a full sort by the given centroid axis (quickselect).
+func (b *SphereBVH) nthElement(lo, hi, n, axis int) {
+	coord := [3][]float32{b.cx, b.cy, b.cz}[axis]
+	for hi-lo > 8 {
+		// Median-of-three pivot.
+		mid := (lo + hi) / 2
+		if coord[mid] < coord[lo] {
+			b.swap(mid, lo)
+		}
+		if coord[hi-1] < coord[lo] {
+			b.swap(hi-1, lo)
+		}
+		if coord[hi-1] < coord[mid] {
+			b.swap(hi-1, mid)
+		}
+		pivot := coord[mid]
+		i, j := lo, hi-1
+		for i <= j {
+			for coord[i] < pivot {
+				i++
+			}
+			for coord[j] > pivot {
+				j--
+			}
+			if i <= j {
+				b.swap(i, j)
+				i++
+				j--
+			}
+		}
+		if n <= j {
+			hi = j + 1
+		} else if n >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+	// Small range: insertion sort.
+	sub := make([]int, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		sub = append(sub, i)
+	}
+	sort.Slice(sub, func(a, c int) bool { return coord[sub[a]] < coord[sub[c]] })
+	// Apply permutation via a scratch copy.
+	tmpPrim := make([]int32, hi-lo)
+	tmpX := make([]float32, hi-lo)
+	tmpY := make([]float32, hi-lo)
+	tmpZ := make([]float32, hi-lo)
+	for k, src := range sub {
+		tmpPrim[k] = b.prim[src]
+		tmpX[k] = b.cx[src]
+		tmpY[k] = b.cy[src]
+		tmpZ[k] = b.cz[src]
+	}
+	copy(b.prim[lo:hi], tmpPrim)
+	copy(b.cx[lo:hi], tmpX)
+	copy(b.cy[lo:hi], tmpY)
+	copy(b.cz[lo:hi], tmpZ)
+}
+
+func (b *SphereBVH) swap(i, j int) {
+	b.prim[i], b.prim[j] = b.prim[j], b.prim[i]
+	b.cx[i], b.cx[j] = b.cx[j], b.cx[i]
+	b.cy[i], b.cy[j] = b.cy[j], b.cy[i]
+	b.cz[i], b.cz[j] = b.cz[j], b.cz[i]
+}
+
+// Hit describes a ray-sphere intersection.
+type Hit struct {
+	T        float64 // ray parameter of the hit
+	Particle int     // original particle index
+	Normal   vec.V3  // outward surface normal at the hit point
+}
+
+// Intersect finds the nearest sphere hit along ray origin + t*dir for
+// t in (tMin, tMax). It returns ok=false on a miss. dir need not be
+// normalized but T is in units of |dir|.
+func (b *SphereBVH) Intersect(origin, dir vec.V3, tMin, tMax float64) (Hit, bool) {
+	if len(b.nodes) == 0 || b.nodes[0].bounds.IsEmpty() {
+		return Hit{}, false
+	}
+	invDir := vec.V3{X: safeInv(dir.X), Y: safeInv(dir.Y), Z: safeInv(dir.Z)}
+	// Stack entries carry the node's entry distance so popped nodes are
+	// pruned against the current best hit without re-intersecting their
+	// bounds; children are pushed nearer-first.
+	type entry struct {
+		node int32
+		t    float64
+	}
+	var stack [64]entry
+	sp := 0
+
+	best := Hit{T: tMax}
+	found := false
+	r2 := b.radius * b.radius
+
+	rootT, _, ok := b.nodes[0].bounds.IntersectRay(origin, invDir, tMin, best.T)
+	if !ok {
+		return Hit{}, false
+	}
+	stack[sp] = entry{0, rootT}
+	sp++
+
+	for sp > 0 {
+		sp--
+		e := stack[sp]
+		if e.t >= best.T {
+			continue
+		}
+		nd := &b.nodes[e.node]
+		if nd.count > 0 {
+			lo := int(nd.left)
+			hi := lo + int(nd.count)
+			for i := lo; i < hi; i++ {
+				c := b.centroid(i)
+				oc := origin.Sub(c)
+				// Solve |oc + t*dir|^2 = r^2.
+				a := dir.Dot(dir)
+				half := oc.Dot(dir)
+				cc := oc.Dot(oc) - r2
+				disc := half*half - a*cc
+				if disc < 0 {
+					continue
+				}
+				sq := math.Sqrt(disc)
+				t := (-half - sq) / a
+				if t <= tMin {
+					t = (-half + sq) / a
+				}
+				if t <= tMin || t >= best.T {
+					continue
+				}
+				hitP := origin.Add(dir.Scale(t))
+				best = Hit{
+					T:        t,
+					Particle: int(b.prim[i]),
+					Normal:   hitP.Sub(c).Norm(),
+				}
+				found = true
+			}
+			continue
+		}
+		// Internal: intersect both children once, push nearer last so it
+		// pops first and tightens best.T before the farther child.
+		left := nd.left
+		right := nd.left + 1
+		lt, _, lok := b.nodes[left].bounds.IntersectRay(origin, invDir, tMin, best.T)
+		rt0, _, rok := b.nodes[right].bounds.IntersectRay(origin, invDir, tMin, best.T)
+		switch {
+		case lok && rok:
+			if lt <= rt0 {
+				stack[sp] = entry{right, rt0}
+				stack[sp+1] = entry{left, lt}
+			} else {
+				stack[sp] = entry{left, lt}
+				stack[sp+1] = entry{right, rt0}
+			}
+			sp += 2
+		case lok:
+			stack[sp] = entry{left, lt}
+			sp++
+		case rok:
+			stack[sp] = entry{right, rt0}
+			sp++
+		}
+	}
+	if !found {
+		return Hit{}, false
+	}
+	return best, true
+}
+
+// Bounds returns the world bounds of the hierarchy.
+func (b *SphereBVH) Bounds() vec.AABB { return b.nodes[0].bounds }
+
+// Radius returns the common sphere radius.
+func (b *SphereBVH) Radius() float64 { return b.radius }
+
+// Count returns the number of spheres.
+func (b *SphereBVH) Count() int { return len(b.prim) }
+
+// Validate checks structural invariants: every leaf's primitives are
+// inside its bounds, children bounds are inside parents, and every
+// primitive appears exactly once. It is used by property tests and
+// returns the first violation found.
+func (b *SphereBVH) Validate() error {
+	seen := make([]bool, len(b.prim))
+	var walk func(ni int32, parent vec.AABB) error
+	walk = func(ni int32, parent vec.AABB) error {
+		nd := &b.nodes[ni]
+		if !parent.IsEmpty() {
+			u := parent.Union(nd.bounds)
+			if u != parent {
+				return errBVH("child bounds escape parent")
+			}
+		}
+		if nd.count > 0 {
+			for i := nd.left; i < nd.left+nd.count; i++ {
+				if seen[i] {
+					return errBVH("primitive referenced twice")
+				}
+				seen[i] = true
+				if !nd.bounds.Expand(1e-9).Contains(b.centroid(int(i))) {
+					return errBVH("primitive centroid outside leaf bounds")
+				}
+			}
+			return nil
+		}
+		if err := walk(nd.left, nd.bounds); err != nil {
+			return err
+		}
+		return walk(nd.left+1, nd.bounds)
+	}
+	if len(b.prim) == 0 {
+		return nil
+	}
+	if err := walk(0, vec.EmptyAABB()); err != nil {
+		return err
+	}
+	for i, s := range seen {
+		if !s {
+			return errBVH("primitive missing from tree: " + itoa(i))
+		}
+	}
+	return nil
+}
+
+type errBVH string
+
+func (e errBVH) Error() string { return "rt: " + string(e) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func safeInv(x float64) float64 {
+	if x == 0 {
+		return math.Inf(1)
+	}
+	return 1 / x
+}
+
+// ParallelBuildSphereBVH builds per-chunk BVHs concurrently and joins
+// them under a single root, trading tree quality for build speed. Used
+// by the ablation bench; rendering results are identical.
+func ParallelBuildSphereBVH(p *data.PointCloud, radius float64, chunks int) []*SphereBVH {
+	if chunks < 1 {
+		chunks = 1
+	}
+	pieces := p.Partition(chunks)
+	out := make([]*SphereBVH, len(pieces))
+	par.For(len(pieces), 0, func(i int) {
+		out[i] = BuildSphereBVH(pieces[i].(*data.PointCloud), radius, MedianSplit)
+	})
+	return out
+}

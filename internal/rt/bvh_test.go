@@ -1,0 +1,251 @@
+package rt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+func randomCloud(n int, seed int64) *data.PointCloud {
+	rng := rand.New(rand.NewSource(seed))
+	p := data.NewPointCloud(n)
+	for i := 0; i < n; i++ {
+		p.IDs[i] = int64(i)
+		p.SetPos(i, vec.New(rng.Float64()*20, rng.Float64()*20, rng.Float64()*20))
+	}
+	return p
+}
+
+func TestBVHValidateBothStrategies(t *testing.T) {
+	for _, s := range []BuildStrategy{MedianSplit, BinnedSAH} {
+		for _, n := range []int{0, 1, 7, 8, 9, 100, 5000} {
+			p := randomCloud(n, int64(n)+1)
+			b := BuildSphereBVH(p, 0.3, s)
+			if err := b.Validate(); err != nil {
+				t.Errorf("%v n=%d: %v", s, n, err)
+			}
+			if b.Count() != n {
+				t.Errorf("%v n=%d: count %d", s, n, b.Count())
+			}
+		}
+	}
+}
+
+func TestBVHStrategyNames(t *testing.T) {
+	if MedianSplit.String() != "median-split" || BinnedSAH.String() != "binned-sah" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestIntersectSingleSphere(t *testing.T) {
+	p := data.NewPointCloud(1)
+	p.SetPos(0, vec.New(0, 0, 0))
+	b := BuildSphereBVH(p, 1, MedianSplit)
+	// Ray along -Z toward the sphere from (0,0,10).
+	hit, ok := b.Intersect(vec.New(0, 0, 10), vec.New(0, 0, -1), 0, math.Inf(1))
+	if !ok {
+		t.Fatal("ray missed sphere")
+	}
+	if math.Abs(hit.T-9) > 1e-9 {
+		t.Errorf("hit T = %v, want 9", hit.T)
+	}
+	if hit.Normal.Sub(vec.New(0, 0, 1)).Len() > 1e-9 {
+		t.Errorf("normal = %v, want +Z", hit.Normal)
+	}
+	if hit.Particle != 0 {
+		t.Errorf("particle = %d", hit.Particle)
+	}
+	// Miss: offset ray.
+	if _, ok := b.Intersect(vec.New(5, 0, 10), vec.New(0, 0, -1), 0, math.Inf(1)); ok {
+		t.Error("offset ray should miss")
+	}
+}
+
+func TestIntersectNearestOfMany(t *testing.T) {
+	p := data.NewPointCloud(3)
+	p.SetPos(0, vec.New(0, 0, -5))
+	p.SetPos(1, vec.New(0, 0, 0))
+	p.SetPos(2, vec.New(0, 0, 5))
+	b := BuildSphereBVH(p, 0.5, MedianSplit)
+	hit, ok := b.Intersect(vec.New(0, 0, 20), vec.New(0, 0, -1), 0, math.Inf(1))
+	if !ok {
+		t.Fatal("missed")
+	}
+	if hit.Particle != 2 {
+		t.Errorf("nearest = %d, want 2 (closest to origin of ray)", hit.Particle)
+	}
+}
+
+func TestIntersectFromInsideSphere(t *testing.T) {
+	p := data.NewPointCloud(1)
+	p.SetPos(0, vec.New(0, 0, 0))
+	b := BuildSphereBVH(p, 2, MedianSplit)
+	hit, ok := b.Intersect(vec.New(0, 0, 0), vec.New(0, 0, -1), 0, math.Inf(1))
+	if !ok {
+		t.Fatal("inside ray missed")
+	}
+	if math.Abs(hit.T-2) > 1e-9 {
+		t.Errorf("exit T = %v, want 2", hit.T)
+	}
+}
+
+func TestIntersectRespectsTMax(t *testing.T) {
+	p := data.NewPointCloud(1)
+	p.SetPos(0, vec.New(0, 0, 0))
+	b := BuildSphereBVH(p, 1, MedianSplit)
+	if _, ok := b.Intersect(vec.New(0, 0, 10), vec.New(0, 0, -1), 0, 5); ok {
+		t.Error("hit beyond tMax accepted")
+	}
+}
+
+func TestEmptyBVHNeverHits(t *testing.T) {
+	b := BuildSphereBVH(data.NewPointCloud(0), 1, MedianSplit)
+	if _, ok := b.Intersect(vec.New(0, 0, 10), vec.New(0, 0, -1), 0, math.Inf(1)); ok {
+		t.Error("empty BVH reported a hit")
+	}
+}
+
+// bruteForce finds the nearest hit by testing every sphere directly.
+func bruteForce(p *data.PointCloud, radius float64, origin, dir vec.V3, tMin, tMax float64) (Hit, bool) {
+	best := Hit{T: tMax}
+	found := false
+	r2 := radius * radius
+	for i := 0; i < p.Count(); i++ {
+		c := p.Pos(i)
+		oc := origin.Sub(c)
+		a := dir.Dot(dir)
+		half := oc.Dot(dir)
+		cc := oc.Dot(oc) - r2
+		disc := half*half - a*cc
+		if disc < 0 {
+			continue
+		}
+		sq := math.Sqrt(disc)
+		t := (-half - sq) / a
+		if t <= tMin {
+			t = (-half + sq) / a
+		}
+		if t <= tMin || t >= best.T {
+			continue
+		}
+		hp := origin.Add(dir.Scale(t))
+		best = Hit{T: t, Particle: i, Normal: hp.Sub(c).Norm()}
+		found = true
+	}
+	return best, found
+}
+
+// Property: BVH traversal returns exactly the brute-force nearest hit.
+func TestIntersectMatchesBruteForceProperty(t *testing.T) {
+	p := randomCloud(300, 77)
+	const radius = 0.4
+	bvhs := map[string]*SphereBVH{
+		"median": BuildSphereBVH(p, radius, MedianSplit),
+		"sah":    BuildSphereBVH(p, radius, BinnedSAH),
+	}
+	f := func(ox, oy, oz, tx, ty, tz float64) bool {
+		origin := vec.New(mod20(ox)+25, mod20(oy), mod20(oz)) // outside-ish
+		target := vec.New(mod20(tx), mod20(ty), mod20(tz))
+		dir := target.Sub(origin).Norm()
+		if dir == (vec.V3{}) {
+			return true
+		}
+		want, wantOK := bruteForce(p, radius, origin, dir, 0, math.Inf(1))
+		for name, b := range bvhs {
+			got, ok := b.Intersect(origin, dir, 0, math.Inf(1))
+			if ok != wantOK {
+				t.Logf("%s: ok=%v want %v", name, ok, wantOK)
+				return false
+			}
+			if ok && (got.Particle != want.Particle || math.Abs(got.T-want.T) > 1e-9) {
+				t.Logf("%s: hit %d@%v want %d@%v", name, got.Particle, got.T, want.Particle, want.T)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func mod20(x float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Mod(math.Abs(x), 20)
+}
+
+func TestSAHBuildsFewerOrEqualCostTrees(t *testing.T) {
+	// Not a strict guarantee, but on a clustered distribution SAH should
+	// produce a tree whose total leaf surface area is no larger than
+	// median split's by a wide margin (sanity check that SAH differs).
+	p := data.NewPointCloud(4000)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < p.Count(); i++ {
+		// Two clusters far apart.
+		base := vec.New(0, 0, 0)
+		if i%2 == 0 {
+			base = vec.New(100, 0, 0)
+		}
+		p.SetPos(i, base.Add(vec.New(rng.Float64(), rng.Float64(), rng.Float64())))
+	}
+	med := BuildSphereBVH(p, 0.1, MedianSplit)
+	sah := BuildSphereBVH(p, 0.1, BinnedSAH)
+	if err := med.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sah.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if med.NodesBuilt == 0 || sah.NodesBuilt == 0 {
+		t.Error("no nodes built")
+	}
+}
+
+func TestParallelBuildCoversAllParticles(t *testing.T) {
+	p := randomCloud(1000, 3)
+	chunks := ParallelBuildSphereBVH(p, 0.2, 4)
+	total := 0
+	for _, c := range chunks {
+		if err := c.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		total += c.Count()
+	}
+	if total != p.Count() {
+		t.Errorf("chunked BVHs cover %d particles, want %d", total, p.Count())
+	}
+}
+
+func BenchmarkBVHBuildMedian100k(b *testing.B) {
+	p := randomCloud(100_000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildSphereBVH(p, 0.1, MedianSplit)
+	}
+}
+
+func BenchmarkBVHBuildSAH100k(b *testing.B) {
+	p := randomCloud(100_000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildSphereBVH(p, 0.1, BinnedSAH)
+	}
+}
+
+func BenchmarkBVHIntersect(b *testing.B) {
+	p := randomCloud(100_000, 1)
+	bvh := BuildSphereBVH(p, 0.1, MedianSplit)
+	origin := vec.New(30, 10, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dir := vec.New(-1, 0.001*float64(i%100), 0.001*float64(i%37)).Norm()
+		bvh.Intersect(origin, dir, 0, math.Inf(1))
+	}
+}

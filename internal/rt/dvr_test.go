@@ -1,0 +1,117 @@
+package rt
+
+import (
+	"math"
+	"testing"
+
+	"github.com/ascr-ecx/eth/internal/camera"
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// hotCoreGrid has a bright core fading to zero at the edges.
+func hotCoreGrid(n int) *data.StructuredGrid {
+	g := data.NewStructuredGrid(n, n, n)
+	c := vec.Splat(float64(n-1) / 2)
+	maxR := float64(n-1) / 2
+	g.FillField("temperature", func(p vec.V3) float32 {
+		r := p.Sub(c).Len() / maxR
+		v := 1 - r
+		if v < 0 {
+			v = 0
+		}
+		return float32(v)
+	})
+	return g
+}
+
+func TestDVRRendersCore(t *testing.T) {
+	g := hotCoreGrid(32)
+	cam := camera.ForBounds(g.Bounds())
+	frame := fb.New(96, 96)
+	if err := RaycastVolume(frame, g, &cam, DVROptions{Field: "temperature"}); err != nil {
+		t.Fatal(err)
+	}
+	if frame.CoveredPixels() < 500 {
+		t.Fatalf("DVR covered %d pixels", frame.CoveredPixels())
+	}
+	// Center of image (through the hot core) must be brighter than the
+	// faint rim.
+	center := frame.At(48, 48)
+	rim := frame.At(10, 48)
+	if center.MaxComp() <= rim.MaxComp() {
+		t.Errorf("core %v not brighter than rim %v", center, rim)
+	}
+	// Colors bounded (compositing cannot exceed the colormap's gamut).
+	for _, c := range frame.Color {
+		if c.MaxComp() > 1.5 || c.MinComp() < 0 {
+			t.Fatalf("unbounded color %v", c)
+		}
+	}
+}
+
+func TestDVROpacityScaleControlsExtinction(t *testing.T) {
+	g := hotCoreGrid(24)
+	cam := camera.ForBounds(g.Bounds())
+	brightness := func(opacity float64) float64 {
+		frame := fb.New(64, 64)
+		if err := RaycastVolume(frame, g, &cam, DVROptions{
+			Field: "temperature", OpacityScale: opacity,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c := frame.At(32, 32)
+		return c.X + c.Y + c.Z
+	}
+	thin := brightness(0.005)
+	thick := brightness(0.5)
+	if thin >= thick {
+		t.Errorf("thin volume (%v) should be dimmer than thick (%v)", thin, thick)
+	}
+}
+
+func TestDVRDepthIsFirstContribution(t *testing.T) {
+	g := hotCoreGrid(24)
+	cam := camera.ForBounds(g.Bounds())
+	frame := fb.New(64, 64)
+	if err := RaycastVolume(frame, g, &cam, DVROptions{Field: "temperature"}); err != nil {
+		t.Fatal(err)
+	}
+	// Depths of covered pixels lie within the clip range and in front of
+	// the far bound.
+	for i, d := range frame.Depth {
+		if math.IsInf(d, 1) {
+			continue
+		}
+		if d < cam.Near || d > cam.Far {
+			t.Fatalf("pixel %d depth %v outside clip [%v, %v]", i, d, cam.Near, cam.Far)
+		}
+	}
+}
+
+func TestDVRErrors(t *testing.T) {
+	g := hotCoreGrid(8)
+	cam := camera.ForBounds(g.Bounds())
+	if err := RaycastVolume(fb.New(8, 8), g, &cam, DVROptions{Field: "nope"}); err == nil {
+		t.Error("missing field accepted")
+	}
+	bad := hotCoreGrid(8)
+	bad.Spacing = vec.V3{}
+	if err := RaycastVolume(fb.New(8, 8), bad, &cam, DVROptions{Field: "temperature"}); err == nil {
+		t.Error("zero spacing accepted")
+	}
+}
+
+func TestDVREmptyVolumeRendersNothing(t *testing.T) {
+	g := data.NewStructuredGrid(8, 8, 8)
+	g.FillField("temperature", func(vec.V3) float32 { return 0 })
+	cam := camera.ForBounds(g.Bounds())
+	frame := fb.New(32, 32)
+	if err := RaycastVolume(frame, g, &cam, DVROptions{Field: "temperature"}); err != nil {
+		t.Fatal(err)
+	}
+	if frame.CoveredPixels() != 0 {
+		t.Errorf("zero field rendered %d pixels", frame.CoveredPixels())
+	}
+}

@@ -1,0 +1,299 @@
+package rt
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/ascr-ecx/eth/internal/camera"
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/par"
+	"github.com/ascr-ecx/eth/internal/telemetry"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// Telemetry counters (TACC-Stats analog, §V-A): incremented in aggregate
+// per scanline band so the hot loops stay counter-free.
+var (
+	ctrRays      = telemetry.Default.Counter("rt.rays")
+	ctrRayHits   = telemetry.Default.Counter("rt.hits")
+	ctrMarchated = telemetry.Default.Counter("rt.march_steps")
+)
+
+// SphereOptions configures sphere raycasting.
+type SphereOptions struct {
+	// Radius is the world-space sphere radius; <= 0 derives one from the
+	// dataset density (same default as the Gaussian splatter so the two
+	// pipelines are comparable in RMSE tests).
+	Radius float64
+	// ColorField names the per-particle scalar for colormapping.
+	ColorField string
+	// Colormap maps normalized scalars; nil = Viridis.
+	Colormap *fb.Colormap
+	// Strategy selects the BVH build algorithm.
+	Strategy BuildStrategy
+	// Ambient light fraction; 0 selects 0.25.
+	Ambient float64
+	// ScalarLo/Hi pin the colormap normalization range; equal values
+	// select the field's own range (multi-rank renders pin a global
+	// range so ranks color identically).
+	ScalarLo, ScalarHi float32
+}
+
+// RaycastSpheres renders the particles of p as world-space spheres into
+// frame: an acceleration structure is built (O(N log N)), then one
+// primary ray per pixel traverses it — cost sub-linear in N and fixed in
+// the ray count (§IV-C "Raycast Spheres"). It returns the BVH so callers
+// rendering multiple frames amortize the build, matching the paper's
+// "once the initial data structure is built" behaviour.
+func RaycastSpheres(frame *fb.Frame, p *data.PointCloud, cam *camera.Camera, opt SphereOptions) (*SphereBVH, error) {
+	radius := opt.Radius
+	if radius <= 0 {
+		radius = defaultRadius(p)
+	}
+	bvh := BuildSphereBVH(p, radius, opt.Strategy)
+	if err := RaycastSpheresWithBVH(frame, p, bvh, cam, opt); err != nil {
+		return nil, err
+	}
+	return bvh, nil
+}
+
+// RaycastSpheresWithBVH renders using a prebuilt hierarchy.
+func RaycastSpheresWithBVH(frame *fb.Frame, p *data.PointCloud, bvh *SphereBVH, cam *camera.Camera, opt SphereOptions) error {
+	colors, err := scalarColors(p, opt.ColorField, opt.Colormap, opt.ScalarLo, opt.ScalarHi)
+	if err != nil {
+		return err
+	}
+	ambient := opt.Ambient
+	if ambient == 0 {
+		ambient = 0.25
+	}
+	light := cam.Eye.Sub(cam.Center).Norm() // headlight
+
+	w, h := frame.W, frame.H
+	gen := cam.NewRayGen(w, h)
+	par.ForGrained(h, 0, 4, func(y0, y1 int) {
+		hits := 0
+		for y := y0; y < y1; y++ {
+			for x := 0; x < w; x++ {
+				ray := gen.Ray(x, y)
+				hit, ok := bvh.Intersect(ray.Origin, ray.Dir, cam.Near, cam.Far)
+				if !ok {
+					continue
+				}
+				hits++
+				lambert := hit.Normal.Dot(light)
+				if lambert < 0 {
+					lambert = 0
+				}
+				shade := ambient + (1-ambient)*lambert
+				c := colors[hit.Particle].Scale(shade)
+				frame.DepthSet(x, y, hit.T, c)
+			}
+		}
+		ctrRays.Add(int64((y1 - y0) * w))
+		ctrRayHits.Add(int64(hits))
+	})
+	return nil
+}
+
+func defaultRadius(p *data.PointCloud) float64 {
+	if p.Count() == 0 {
+		return 1
+	}
+	b := p.Bounds()
+	vol := b.Size().X * b.Size().Y * b.Size().Z
+	if vol <= 0 {
+		return b.Diagonal()/100 + 1e-6
+	}
+	return 0.5 * math.Cbrt(vol/float64(p.Count()))
+}
+
+func scalarColors(p *data.PointCloud, fieldName string, cmap *fb.Colormap, lo, hi float32) ([]vec.V3, error) {
+	colors := make([]vec.V3, p.Count())
+	if fieldName == "" {
+		for i := range colors {
+			colors[i] = vec.New(1, 1, 1)
+		}
+		return colors, nil
+	}
+	f, err := p.Field(fieldName)
+	if err != nil {
+		return nil, fmt.Errorf("rt: color field: %w", err)
+	}
+	if cmap == nil {
+		cmap = fb.Viridis
+	}
+	if lo == hi {
+		lo, hi = f.MinMax()
+	}
+	scale := 0.0
+	if hi > lo {
+		scale = 1 / float64(hi-lo)
+	}
+	par.For(p.Count(), 0, func(i int) {
+		colors[i] = cmap.Lookup(float64(f.Values[i]-lo) * scale)
+	})
+	return colors, nil
+}
+
+// VolumeOptions configures volume raycasting (slices and isosurfaces).
+type VolumeOptions struct {
+	// Field names the grid scalar to visualize.
+	Field string
+	// Colormap maps normalized scalars; nil = Hot (temperature-style).
+	Colormap *fb.Colormap
+	// ScalarLo/Hi normalize scalars; equal values select the field range.
+	ScalarLo, ScalarHi float32
+	// Ambient light fraction; 0 selects 0.25.
+	Ambient float64
+}
+
+// RaycastSlice renders the cross-section of the grid with the plane
+// through point with the given normal. Per-ray cost is O(1): one
+// ray-plane intersection plus one trilinear sample (§IV-C "Slices and
+// Isosurfaces in Raycasting"), so total cost is O(pixels) independent of
+// the grid size.
+func RaycastSlice(frame *fb.Frame, g *data.StructuredGrid, cam *camera.Camera, point, normal vec.V3, opt VolumeOptions) error {
+	f, err := g.Field(opt.Field)
+	if err != nil {
+		return err
+	}
+	n := normal.Norm()
+	if n == (vec.V3{}) {
+		return fmt.Errorf("rt: slice plane normal is zero")
+	}
+	cmap := opt.Colormap
+	if cmap == nil {
+		cmap = fb.Hot
+	}
+	lo, hi := opt.ScalarLo, opt.ScalarHi
+	if lo == hi {
+		lo, hi = f.MinMax()
+	}
+	scale := 0.0
+	if hi > lo {
+		scale = 1 / float64(hi-lo)
+	}
+	bounds := g.Bounds()
+
+	w, h := frame.W, frame.H
+	gen := cam.NewRayGen(w, h)
+	par.ForGrained(h, 0, 4, func(y0, y1 int) {
+		for y := y0; y < y1; y++ {
+			for x := 0; x < w; x++ {
+				ray := gen.Ray(x, y)
+				denom := ray.Dir.Dot(n)
+				if math.Abs(denom) < 1e-12 {
+					continue
+				}
+				t := point.Sub(ray.Origin).Dot(n) / denom
+				if t < cam.Near || t > cam.Far {
+					continue
+				}
+				p := ray.Origin.Add(ray.Dir.Scale(t))
+				if !bounds.Contains(p) {
+					continue
+				}
+				s := float64(g.Sample(f, p)-lo) * scale
+				frame.DepthSet(x, y, t, cmap.Lookup(s))
+			}
+		}
+	})
+	return nil
+}
+
+// RaycastIsosurface renders the isoValue contour of the grid field by ray
+// marching: each ray steps through the volume at ~1 voxel per step
+// looking for a sign change, then bisects to refine the crossing. Per-ray
+// cost is proportional to the 1-D resolution of the data — the N^(1/3)
+// scaling the paper derives (§IV-C).
+func RaycastIsosurface(frame *fb.Frame, g *data.StructuredGrid, cam *camera.Camera, isoValue float32, opt VolumeOptions) error {
+	f, err := g.Field(opt.Field)
+	if err != nil {
+		return err
+	}
+	cmap := opt.Colormap
+	if cmap == nil {
+		cmap = fb.Hot
+	}
+	lo, hi := opt.ScalarLo, opt.ScalarHi
+	if lo == hi {
+		lo, hi = f.MinMax()
+	}
+	scale := 0.0
+	if hi > lo {
+		scale = 1 / float64(hi-lo)
+	}
+	isoNorm := float64(isoValue-lo) * scale
+
+	bounds := g.Bounds()
+	step := g.Spacing.MinComp()
+	if step <= 0 {
+		return fmt.Errorf("rt: grid has non-positive spacing")
+	}
+	ambient := opt.Ambient
+	if ambient == 0 {
+		ambient = 0.25
+	}
+	light := cam.Eye.Sub(cam.Center).Norm()
+
+	w, h := frame.W, frame.H
+	gen := cam.NewRayGen(w, h)
+	par.ForGrained(h, 0, 2, func(y0, y1 int) {
+		marchSteps := 0
+		for y := y0; y < y1; y++ {
+			for x := 0; x < w; x++ {
+				ray := gen.Ray(x, y)
+				invDir := vec.V3{X: safeInv(ray.Dir.X), Y: safeInv(ray.Dir.Y), Z: safeInv(ray.Dir.Z)}
+				t0, t1, ok := bounds.IntersectRay(ray.Origin, invDir, cam.Near, cam.Far)
+				if !ok {
+					continue
+				}
+				// March.
+				prevT := t0
+				prevV := g.Sample(f, ray.Origin.Add(ray.Dir.Scale(t0)))
+				found := false
+				var hitT float64
+				for t := t0 + step; t <= t1+step; t += step {
+					marchSteps++
+					tc := math.Min(t, t1)
+					v := g.Sample(f, ray.Origin.Add(ray.Dir.Scale(tc)))
+					if (prevV < isoValue) != (v < isoValue) {
+						// Bisect [prevT, tc] to refine.
+						a, bT := prevT, tc
+						va := prevV
+						for it := 0; it < 8; it++ {
+							mid := (a + bT) / 2
+							vm := g.Sample(f, ray.Origin.Add(ray.Dir.Scale(mid)))
+							if (va < isoValue) != (vm < isoValue) {
+								bT = mid
+							} else {
+								a = mid
+								va = vm
+							}
+						}
+						hitT = (a + bT) / 2
+						found = true
+						break
+					}
+					prevT, prevV = tc, v
+					if tc >= t1 {
+						break
+					}
+				}
+				if !found {
+					continue
+				}
+				p := ray.Origin.Add(ray.Dir.Scale(hitT))
+				normal := g.Gradient(f, p).Norm()
+				lambert := math.Abs(normal.Dot(light))
+				shade := ambient + (1-ambient)*lambert
+				frame.DepthSet(x, y, hitT, cmap.Lookup(isoNorm).Scale(shade))
+			}
+		}
+		ctrMarchated.Add(int64(marchSteps))
+		ctrRays.Add(int64((y1 - y0) * w))
+	})
+	return nil
+}

@@ -1,0 +1,173 @@
+// Package sampling implements ETH's spatial-sampling operators (§IV-B):
+// selecting a subset of a dataset before rendering to trade image quality
+// for time, power, and energy. Three point-cloud strategies are provided
+// — uniform random, strided, and stratified-by-cell — plus grid
+// downsampling, so the sampling-method ablation in DESIGN.md can compare
+// their RMSE cost at equal ratios.
+package sampling
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/ascr-ecx/eth/internal/data"
+)
+
+// Method selects a point-sampling strategy.
+type Method uint8
+
+const (
+	// Random keeps each particle independently with probability ratio.
+	// This is the paper's spatial sampling: unbiased but noisy in sparse
+	// regions.
+	Random Method = iota
+	// Stride keeps every k-th particle where k ~= 1/ratio. Deterministic
+	// and cheap, but aliases any ordering structure in the input.
+	Stride
+	// Stratified overlays a coarse cell grid on the bounds and samples
+	// within each cell proportionally, guaranteeing spatial coverage:
+	// empty regions stay empty, dense regions are thinned evenly.
+	Stratified
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case Random:
+		return "random"
+	case Stride:
+		return "stride"
+	case Stratified:
+		return "stratified"
+	default:
+		return fmt.Sprintf("method(%d)", uint8(m))
+	}
+}
+
+// Points returns a new cloud containing approximately ratio*Count()
+// particles chosen by the given method. ratio is clamped to [0, 1];
+// ratio >= 1 returns the input unchanged. Sampling is deterministic in
+// seed.
+func Points(p *data.PointCloud, ratio float64, m Method, seed int64) (*data.PointCloud, error) {
+	if math.IsNaN(ratio) {
+		return nil, fmt.Errorf("sampling: ratio is NaN")
+	}
+	if ratio >= 1 {
+		return p, nil
+	}
+	if ratio < 0 {
+		ratio = 0
+	}
+	switch m {
+	case Random:
+		return randomSample(p, ratio, seed), nil
+	case Stride:
+		return strideSample(p, ratio), nil
+	case Stratified:
+		return stratifiedSample(p, ratio, seed), nil
+	default:
+		return nil, fmt.Errorf("sampling: unknown method %v", m)
+	}
+}
+
+func randomSample(p *data.PointCloud, ratio float64, seed int64) *data.PointCloud {
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int, 0, int(float64(p.Count())*ratio)+1)
+	for i := 0; i < p.Count(); i++ {
+		if rng.Float64() < ratio {
+			idx = append(idx, i)
+		}
+	}
+	return p.Select(idx)
+}
+
+func strideSample(p *data.PointCloud, ratio float64) *data.PointCloud {
+	if ratio <= 0 {
+		return p.Select(nil)
+	}
+	step := 1 / ratio
+	idx := make([]int, 0, int(float64(p.Count())*ratio)+1)
+	for f := 0.0; int(f) < p.Count(); f += step {
+		idx = append(idx, int(f))
+	}
+	return p.Select(idx)
+}
+
+func stratifiedSample(p *data.PointCloud, ratio float64, seed int64) *data.PointCloud {
+	if p.Count() == 0 || ratio <= 0 {
+		return p.Select(nil)
+	}
+	// Aim for cells holding ~64 particles on average so per-cell counts
+	// are statistically stable.
+	cells := int(math.Cbrt(float64(p.Count()) / 64))
+	if cells < 1 {
+		cells = 1
+	}
+	b := p.Bounds()
+	size := b.Size()
+	// Guard degenerate axes.
+	sx := math.Max(size.X, 1e-12)
+	sy := math.Max(size.Y, 1e-12)
+	sz := math.Max(size.Z, 1e-12)
+
+	buckets := make(map[int][]int)
+	for i := 0; i < p.Count(); i++ {
+		pos := p.Pos(i)
+		ci := cellIndex((pos.X-b.Min.X)/sx, cells)
+		cj := cellIndex((pos.Y-b.Min.Y)/sy, cells)
+		ck := cellIndex((pos.Z-b.Min.Z)/sz, cells)
+		key := ci + cells*(cj+cells*ck)
+		buckets[key] = append(buckets[key], i)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idx := make([]int, 0, int(float64(p.Count())*ratio)+1)
+	for key := 0; key < cells*cells*cells; key++ {
+		members, ok := buckets[key]
+		if !ok {
+			continue
+		}
+		// Keep ceil(ratio * |cell|) with random selection inside the cell,
+		// but never more than the cell holds.
+		keep := int(math.Round(ratio * float64(len(members))))
+		if keep == 0 && ratio > 0 && len(members) > 0 && rng.Float64() < ratio*float64(len(members)) {
+			keep = 1 // small cells keep a member probabilistically to stay unbiased
+		}
+		if keep > len(members) {
+			keep = len(members)
+		}
+		perm := rng.Perm(len(members))
+		for _, j := range perm[:keep] {
+			idx = append(idx, members[j])
+		}
+	}
+	return p.Select(idx)
+}
+
+func cellIndex(frac float64, cells int) int {
+	i := int(frac * float64(cells))
+	if i >= cells {
+		i = cells - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i
+}
+
+// Grid returns a grid downsampled so that the retained vertex fraction is
+// approximately ratio. The stride applied per axis is
+// round((1/ratio)^(1/3)); ratio >= 1 returns the input.
+func Grid(g *data.StructuredGrid, ratio float64) (*data.StructuredGrid, error) {
+	if math.IsNaN(ratio) || ratio <= 0 {
+		return nil, fmt.Errorf("sampling: grid ratio must be in (0, 1], got %v", ratio)
+	}
+	if ratio >= 1 {
+		return g, nil
+	}
+	stride := int(math.Round(math.Cbrt(1 / ratio)))
+	if stride < 2 {
+		stride = 2
+	}
+	return g.Downsample(stride), nil
+}

@@ -1,0 +1,197 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+func testCloud(n int) *data.PointCloud {
+	rng := rand.New(rand.NewSource(11))
+	p := data.NewPointCloud(n)
+	for i := 0; i < n; i++ {
+		p.IDs[i] = int64(i)
+		p.SetPos(i, vec.New(rng.Float64()*10, rng.Float64()*10, rng.Float64()*10))
+	}
+	return p
+}
+
+func TestMethodString(t *testing.T) {
+	if Random.String() != "random" || Stride.String() != "stride" || Stratified.String() != "stratified" {
+		t.Error("method names wrong")
+	}
+	if Method(77).String() != "method(77)" {
+		t.Error(Method(77).String())
+	}
+}
+
+func TestPointsRatioApprox(t *testing.T) {
+	p := testCloud(20_000)
+	for _, m := range []Method{Random, Stride, Stratified} {
+		for _, ratio := range []float64{0.25, 0.5, 0.75} {
+			s, err := Points(p, ratio, m, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := float64(s.Count()) / float64(p.Count())
+			if math.Abs(got-ratio) > 0.05 {
+				t.Errorf("%v ratio %v: kept %.3f", m, ratio, got)
+			}
+		}
+	}
+}
+
+func TestPointsFullRatioReturnsInput(t *testing.T) {
+	p := testCloud(100)
+	s, err := Points(p, 1.0, Random, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != p {
+		t.Error("ratio 1.0 should return the input cloud")
+	}
+	s, _ = Points(p, 2.0, Random, 1)
+	if s != p {
+		t.Error("ratio > 1 should return the input cloud")
+	}
+}
+
+func TestPointsZeroRatio(t *testing.T) {
+	p := testCloud(100)
+	for _, m := range []Method{Random, Stride, Stratified} {
+		s, err := Points(p, 0, m, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Count() != 0 {
+			t.Errorf("%v ratio 0 kept %d particles", m, s.Count())
+		}
+	}
+	// Negative clamps to zero.
+	s, _ := Points(p, -0.5, Random, 1)
+	if s.Count() != 0 {
+		t.Error("negative ratio did not clamp")
+	}
+}
+
+func TestPointsErrors(t *testing.T) {
+	p := testCloud(10)
+	if _, err := Points(p, math.NaN(), Random, 1); err == nil {
+		t.Error("NaN ratio accepted")
+	}
+	if _, err := Points(p, 0.5, Method(42), 1); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestPointsDeterministic(t *testing.T) {
+	p := testCloud(5000)
+	for _, m := range []Method{Random, Stride, Stratified} {
+		a, _ := Points(p, 0.5, m, 7)
+		b, _ := Points(p, 0.5, m, 7)
+		if a.Count() != b.Count() {
+			t.Fatalf("%v not deterministic", m)
+		}
+		for i := range a.IDs {
+			if a.IDs[i] != b.IDs[i] {
+				t.Fatalf("%v not deterministic at %d", m, i)
+			}
+		}
+	}
+}
+
+func TestStrideIsUniformOverIndex(t *testing.T) {
+	p := testCloud(1000)
+	s, _ := Points(p, 0.25, Stride, 0)
+	// Every kept ID should be ~4 apart.
+	for i := 1; i < len(s.IDs); i++ {
+		gap := s.IDs[i] - s.IDs[i-1]
+		if gap < 3 || gap > 5 {
+			t.Fatalf("stride gap = %d", gap)
+		}
+	}
+}
+
+func TestStratifiedCoversSpace(t *testing.T) {
+	// Two well-separated clusters: stratified sampling at a low ratio
+	// must keep particles from both.
+	p := data.NewPointCloud(2000)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		p.IDs[i] = int64(i)
+		p.SetPos(i, vec.New(rng.Float64(), rng.Float64(), rng.Float64()))
+	}
+	for i := 1000; i < 2000; i++ {
+		p.IDs[i] = int64(i)
+		p.SetPos(i, vec.New(9+rng.Float64(), 9+rng.Float64(), 9+rng.Float64()))
+	}
+	s, _ := Points(p, 0.1, Stratified, 3)
+	lowCluster, highCluster := 0, 0
+	for i := 0; i < s.Count(); i++ {
+		if s.Pos(i).X < 5 {
+			lowCluster++
+		} else {
+			highCluster++
+		}
+	}
+	if lowCluster == 0 || highCluster == 0 {
+		t.Errorf("stratified missed a cluster: low=%d high=%d", lowCluster, highCluster)
+	}
+	// Balance within 3x of each other (they are equal-mass clusters).
+	ratio := float64(lowCluster) / float64(highCluster)
+	if ratio < 1.0/3 || ratio > 3 {
+		t.Errorf("stratified imbalance: low=%d high=%d", lowCluster, highCluster)
+	}
+}
+
+// Property: sampled IDs are always a subset of the input IDs, no repeats.
+func TestSampleIsSubsetProperty(t *testing.T) {
+	p := testCloud(500)
+	f := func(ratioRaw uint16, mRaw, seedRaw uint8) bool {
+		ratio := float64(ratioRaw%1000) / 1000
+		m := Method(mRaw % 3)
+		s, err := Points(p, ratio, m, int64(seedRaw))
+		if err != nil {
+			return false
+		}
+		seen := map[int64]bool{}
+		for _, id := range s.IDs {
+			if id < 0 || id >= int64(p.Count()) || seen[id] {
+				return false
+			}
+			seen[id] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGridSampling(t *testing.T) {
+	g := data.NewStructuredGrid(20, 20, 20)
+	g.FillField("f", func(p vec.V3) float32 { return float32(p.X) })
+	s, err := Grid(g, 1.0/8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(s.Count()) / float64(g.Count())
+	if got > 0.25 {
+		t.Errorf("grid sampling kept %.3f, want <= 0.25 for ratio 1/8", got)
+	}
+	// ratio 1 -> same grid.
+	same, _ := Grid(g, 1)
+	if same != g {
+		t.Error("ratio 1 should be identity")
+	}
+	if _, err := Grid(g, 0); err == nil {
+		t.Error("zero ratio accepted")
+	}
+	if _, err := Grid(g, math.NaN()); err == nil {
+		t.Error("NaN ratio accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Package telemetry is ETH's low-overhead counter registry, the stand-in
+// for the TACC Stats hardware-counter collection the paper uses to
+// analyze results (§V-A). Components register named counters and bump
+// them from hot loops with atomic adds; the harness snapshots the
+// registry per experiment phase and reports deltas.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a single monotonically increasing metric.
+type Counter struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the counter's registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Inc increments by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current value.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Registry holds a set of named counters. The zero value is ready to use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// Default is the process-wide registry.
+var Default = &Registry{}
+
+// Counter returns the counter with the given name, creating it if needed.
+// Safe for concurrent use; the returned pointer is stable.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{name: name}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Snapshot returns a copy of all counter values at this instant.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	for name, c := range r.counters {
+		s[name] = c.Value()
+	}
+	return s
+}
+
+// Reset zeroes every counter (for test isolation and per-run phases).
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+}
+
+// Snapshot is a point-in-time view of counter values.
+type Snapshot map[string]int64
+
+// Delta returns s - earlier per counter (counters absent from earlier are
+// treated as zero).
+func (s Snapshot) Delta(earlier Snapshot) Snapshot {
+	out := Snapshot{}
+	for name, v := range s {
+		out[name] = v - earlier[name]
+	}
+	return out
+}
+
+// String renders the snapshot sorted by name.
+func (s Snapshot) String() string {
+	names := make([]string, 0, len(s))
+	for n := range s {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s=%d", n, s[n])
+	}
+	return out
+}

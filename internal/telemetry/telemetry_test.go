@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var r Registry
+	c := r.Counter("rays")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("value = %d", c.Value())
+	}
+	if c.Name() != "rays" {
+		t.Errorf("name = %q", c.Name())
+	}
+	// Same name returns the same counter.
+	if r.Counter("rays") != c {
+		t.Error("counter identity not stable")
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	var r Registry
+	const workers = 16
+	const per = 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			c := r.Counter("hits")
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != workers*per {
+		t.Errorf("hits = %d, want %d", got, workers*per)
+	}
+}
+
+func TestSnapshotAndDelta(t *testing.T) {
+	var r Registry
+	r.Counter("a").Add(10)
+	r.Counter("b").Add(2)
+	s1 := r.Snapshot()
+	r.Counter("a").Add(5)
+	r.Counter("c").Add(1)
+	s2 := r.Snapshot()
+	d := s2.Delta(s1)
+	if d["a"] != 5 || d["b"] != 0 || d["c"] != 1 {
+		t.Errorf("delta = %v", d)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var r Registry
+	r.Counter("x").Add(9)
+	r.Reset()
+	if r.Counter("x").Value() != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	s := Snapshot{"zeta": 1, "alpha": 2}
+	str := s.String()
+	if !strings.HasPrefix(str, "alpha=2") {
+		t.Errorf("String not sorted: %q", str)
+	}
+	if !strings.Contains(str, "zeta=1") {
+		t.Errorf("String missing counter: %q", str)
+	}
+}
+
+func TestDefaultRegistryUsable(t *testing.T) {
+	Default.Counter("telemetry_test_counter").Inc()
+	if Default.Snapshot()["telemetry_test_counter"] < 1 {
+		t.Error("default registry broken")
+	}
+}

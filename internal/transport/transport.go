@@ -1,0 +1,331 @@
+// Package transport implements ETH's inter-proxy communication: the
+// socket layer and global layout file of §III-C. When the simulation and
+// visualization proxies run as separate processes, each simulation rank
+// opens a TCP port and appends "rank host:port" to a globally accessible
+// layout file; each visualization rank then looks up its paired rank,
+// waits for the port, and connects. Messages are length-prefixed frames
+// with a one-byte type; datasets travel in the vtkio container format, so
+// the wire payload is identical to the on-disk format.
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/vtkio"
+)
+
+// MsgType tags a protocol frame.
+type MsgType uint8
+
+const (
+	// MsgDataset carries a vtkio-encoded dataset (one time step).
+	MsgDataset MsgType = iota + 1
+	// MsgAck acknowledges processing of the previous dataset and carries
+	// an 8-byte big-endian step counter.
+	MsgAck
+	// MsgDone signals the end of the run; no payload.
+	MsgDone
+	// MsgDatasetFlate carries a DEFLATE-compressed vtkio dataset — the
+	// data-compression lever of the paper's introduction ("data
+	// sampling, and compression"), applied on the in-situ interface.
+	MsgDatasetFlate
+)
+
+// maxFrame bounds a frame read from the wire (guards corrupt headers).
+const maxFrame = 1 << 36
+
+// ErrClosed is returned when the peer closed the stream mid-protocol.
+var ErrClosed = errors.New("transport: connection closed by peer")
+
+// Conn is a framed protocol connection between a simulation-proxy rank
+// and its paired visualization-proxy rank.
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+	// BytesSent and BytesReceived count payload bytes for the harness's
+	// data-movement accounting.
+	BytesSent     int64
+	BytesReceived int64
+	// compress enables DEFLATE framing for outgoing datasets.
+	compress bool
+}
+
+// NewConn wraps a net.Conn in the framed protocol.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{
+		c:  c,
+		br: bufio.NewReaderSize(c, 1<<20),
+		bw: bufio.NewWriterSize(c, 1<<20),
+	}
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// SetCompression toggles DEFLATE compression for outgoing datasets.
+// Either side may enable it independently; receivers handle both framings
+// transparently.
+func (c *Conn) SetCompression(on bool) { c.compress = on }
+
+// SendDataset streams ds as a MsgDataset (or MsgDatasetFlate) frame.
+func (c *Conn) SendDataset(ds data.Dataset) error {
+	// Encode to a buffer first to learn the length. Dataset payloads are
+	// the dominant cost; an extra copy is acceptable for framing clarity.
+	var payload payloadBuffer
+	if err := vtkio.Write(&payload, ds); err != nil {
+		return err
+	}
+	typ := MsgDataset
+	out := []byte(payload)
+	if c.compress {
+		var zbuf bytes.Buffer
+		zw, err := flate.NewWriter(&zbuf, flate.BestSpeed)
+		if err != nil {
+			return err
+		}
+		if _, err := zw.Write(out); err != nil {
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+		typ = MsgDatasetFlate
+		out = zbuf.Bytes()
+	}
+	if err := c.writeHeader(typ, int64(len(out))); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(out); err != nil {
+		return err
+	}
+	c.BytesSent += int64(len(out))
+	return c.bw.Flush()
+}
+
+// SendAck sends an acknowledgment for the given step.
+func (c *Conn) SendAck(step int64) error {
+	if err := c.writeHeader(MsgAck, 8); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(step))
+	if _, err := c.bw.Write(buf[:]); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// SendDone signals end of run.
+func (c *Conn) SendDone() error {
+	if err := c.writeHeader(MsgDone, 0); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *Conn) writeHeader(t MsgType, n int64) error {
+	var hdr [9]byte
+	hdr[0] = byte(t)
+	binary.BigEndian.PutUint64(hdr[1:], uint64(n))
+	_, err := c.bw.Write(hdr[:])
+	return err
+}
+
+// Recv reads the next frame. For MsgDataset the decoded dataset is
+// returned; for MsgAck the step counter is in step; MsgDone has neither.
+func (c *Conn) Recv() (t MsgType, ds data.Dataset, step int64, err error) {
+	var hdr [9]byte
+	if _, err = io.ReadFull(c.br, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return 0, nil, 0, ErrClosed
+		}
+		return 0, nil, 0, err
+	}
+	t = MsgType(hdr[0])
+	n := int64(binary.BigEndian.Uint64(hdr[1:]))
+	if n < 0 || n > maxFrame {
+		return 0, nil, 0, fmt.Errorf("transport: implausible frame length %d", n)
+	}
+	switch t {
+	case MsgDataset, MsgDatasetFlate:
+		lr := io.LimitReader(c.br, n)
+		var payload io.Reader = lr
+		var zr io.ReadCloser
+		if t == MsgDatasetFlate {
+			zr = flate.NewReader(lr)
+			payload = zr
+		}
+		ds, err = vtkio.Read(payload)
+		if err != nil {
+			return 0, nil, 0, fmt.Errorf("transport: decoding dataset: %w", err)
+		}
+		if zr != nil {
+			if cerr := zr.Close(); cerr != nil {
+				return 0, nil, 0, cerr
+			}
+		}
+		// Drain any remainder (vtkio reads exactly its payload, but be safe).
+		if _, derr := io.Copy(io.Discard, lr); derr != nil {
+			return 0, nil, 0, derr
+		}
+		c.BytesReceived += n
+		return MsgDataset, ds, 0, nil
+	case MsgAck:
+		if n != 8 {
+			return 0, nil, 0, fmt.Errorf("transport: ack frame length %d", n)
+		}
+		var buf [8]byte
+		if _, err = io.ReadFull(c.br, buf[:]); err != nil {
+			return 0, nil, 0, err
+		}
+		return t, nil, int64(binary.BigEndian.Uint64(buf[:])), nil
+	case MsgDone:
+		if n != 0 {
+			return 0, nil, 0, fmt.Errorf("transport: done frame length %d", n)
+		}
+		return t, nil, 0, nil
+	default:
+		return 0, nil, 0, fmt.Errorf("transport: unknown message type %d", hdr[0])
+	}
+}
+
+// payloadBuffer is a minimal growable write buffer ([]byte as io.Writer).
+type payloadBuffer []byte
+
+func (b *payloadBuffer) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+// ---- layout file (§III-C rendezvous) ----
+
+// LayoutEntry records where one simulation-proxy rank listens.
+type LayoutEntry struct {
+	Rank int
+	Addr string // host:port
+}
+
+// AppendLayout appends this rank's address to the layout file. Each entry
+// is one line "rank addr\n" written with a single O_APPEND write so
+// concurrent ranks do not interleave.
+func AppendLayout(path string, e LayoutEntry) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	line := fmt.Sprintf("%d %s\n", e.Rank, e.Addr)
+	if _, err := f.WriteString(line); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadLayout parses the layout file into a rank -> address map.
+func ReadLayout(path string) (map[int]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]string{}
+	for lineNo, line := range strings.Split(string(raw), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("transport: layout line %d malformed: %q", lineNo+1, line)
+		}
+		rank, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("transport: layout line %d rank: %w", lineNo+1, err)
+		}
+		out[rank] = fields[1]
+	}
+	return out, nil
+}
+
+// WaitLayout polls the layout file until it contains an entry for rank or
+// the timeout expires — the "waits for the corresponding port to open"
+// step of the paper's §III-C startup sequence.
+func WaitLayout(path string, rank int, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		entries, err := ReadLayout(path)
+		if err == nil {
+			if addr, ok := entries[rank]; ok {
+				return addr, nil
+			}
+		} else if !os.IsNotExist(err) {
+			return "", err
+		}
+		if time.Now().After(deadline) {
+			return "", fmt.Errorf("transport: rank %d not in layout %s after %v", rank, path, timeout)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Listen opens a TCP listener on an OS-assigned port of host (empty =
+// loopback) and registers it in the layout file under rank.
+func Listen(layoutPath string, rank int, host string) (net.Listener, error) {
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return nil, err
+	}
+	if err := AppendLayout(layoutPath, LayoutEntry{Rank: rank, Addr: ln.Addr().String()}); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	return ln, nil
+}
+
+// Dial looks up rank in the layout file (waiting up to timeout for it to
+// appear) and connects, retrying until the listener accepts or the
+// timeout expires.
+func Dial(layoutPath string, rank int, timeout time.Duration) (*Conn, error) {
+	addr, err := WaitLayout(layoutPath, rank, timeout)
+	if err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return NewConn(c), nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("transport: dialing rank %d at %s: %w", rank, addr, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		// Re-resolve: layout files append, so a restarted simulation
+		// proxy registers a fresh address that must win over a stale one.
+		if entries, rerr := ReadLayout(layoutPath); rerr == nil {
+			if fresh, ok := entries[rank]; ok {
+				addr = fresh
+			}
+		}
+	}
+}
+
+// openAppend opens path for appending; separated out for tests.
+func openAppend(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}

@@ -1,0 +1,420 @@
+// Package vtkio implements ETH's on-disk dataset container, the stand-in
+// for the VTK files the paper requires users to export their simulation
+// data as (§III-B: "our design requires that the data is exported as VTK
+// data objects"). The format ("ETHD") is a little-endian, self-describing
+// binary container that round-trips both data model types exactly. It is
+// also the wire format the transport layer streams between proxies, so a
+// dataset written by the simulation proxy can be replayed byte-identically
+// by the visualization proxy.
+//
+// Layout (all integers little-endian):
+//
+//	magic   [4]byte  "ETHD"
+//	version uint16   (currently 1)
+//	kind    uint8    data.Kind
+//	  -- kind-specific header and payload --
+//	fields  uint32 count, then per field:
+//	  nameLen uint16, name bytes, valueCount uint64, float32 values
+package vtkio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+var (
+	magic = [4]byte{'E', 'T', 'H', 'D'}
+
+	// ErrBadMagic is returned when the stream does not start with the
+	// container magic.
+	ErrBadMagic = errors.New("vtkio: bad magic (not an ETHD container)")
+	// ErrBadVersion is returned for unsupported container versions.
+	ErrBadVersion = errors.New("vtkio: unsupported container version")
+)
+
+const version = 1
+
+// maxReasonable guards length fields read from untrusted streams so a
+// corrupt header cannot force a huge allocation.
+const maxReasonable = 1 << 33 // 8 Gi elements
+
+// Write serializes ds to w.
+func Write(w io.Writer, ds data.Dataset) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(version)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint8(ds.Kind())); err != nil {
+		return err
+	}
+	switch d := ds.(type) {
+	case *data.PointCloud:
+		if err := writePointCloud(bw, d); err != nil {
+			return err
+		}
+	case *data.StructuredGrid:
+		if err := writeGrid(bw, d); err != nil {
+			return err
+		}
+	case *data.UnstructuredGrid:
+		if err := writeUnstructured(bw, d); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("vtkio: unsupported dataset type %T", ds)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a dataset from r.
+func Read(r io.Reader) (data.Dataset, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("vtkio: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	var ver uint16
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, ver)
+	}
+	var kind uint8
+	if err := binary.Read(br, binary.LittleEndian, &kind); err != nil {
+		return nil, err
+	}
+	switch data.Kind(kind) {
+	case data.KindPointCloud:
+		return readPointCloud(br)
+	case data.KindStructuredGrid:
+		return readGrid(br)
+	case data.KindUnstructuredGrid:
+		return readUnstructured(br)
+	default:
+		return nil, fmt.Errorf("vtkio: unknown dataset kind %d", kind)
+	}
+}
+
+// WriteFile writes ds to the named file, creating or truncating it.
+func WriteFile(path string, ds data.Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, ds); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a dataset from the named file.
+func ReadFile(path string) (data.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func writePointCloud(w io.Writer, p *data.PointCloud) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(p.Count())); err != nil {
+		return err
+	}
+	if err := writeInt64s(w, p.IDs); err != nil {
+		return err
+	}
+	for _, arr := range [][]float32{p.X, p.Y, p.Z, p.VX, p.VY, p.VZ} {
+		if err := writeFloat32s(w, arr); err != nil {
+			return err
+		}
+	}
+	return writeFields(w, p.Fields)
+}
+
+func readPointCloud(r io.Reader) (*data.PointCloud, error) {
+	var n uint64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > maxReasonable {
+		return nil, fmt.Errorf("vtkio: implausible particle count %d", n)
+	}
+	p := data.NewPointCloud(int(n))
+	if err := readInt64s(r, p.IDs); err != nil {
+		return nil, err
+	}
+	for _, arr := range [][]float32{p.X, p.Y, p.Z, p.VX, p.VY, p.VZ} {
+		if err := readFloat32s(r, arr); err != nil {
+			return nil, err
+		}
+	}
+	fields, err := readFields(r, p.Count())
+	if err != nil {
+		return nil, err
+	}
+	p.Fields = fields
+	return p, nil
+}
+
+func writeGrid(w io.Writer, g *data.StructuredGrid) error {
+	hdr := []uint64{uint64(g.NX), uint64(g.NY), uint64(g.NZ)}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	geo := []float64{
+		g.Origin.X, g.Origin.Y, g.Origin.Z,
+		g.Spacing.X, g.Spacing.Y, g.Spacing.Z,
+	}
+	if err := binary.Write(w, binary.LittleEndian, geo); err != nil {
+		return err
+	}
+	return writeFields(w, g.Fields)
+}
+
+func readGrid(r io.Reader) (*data.StructuredGrid, error) {
+	hdr := make([]uint64, 3)
+	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+		return nil, err
+	}
+	for _, d := range hdr {
+		if d > maxReasonable {
+			return nil, fmt.Errorf("vtkio: implausible grid dimension %d", d)
+		}
+	}
+	if hdr[0]*hdr[1]*hdr[2] > maxReasonable {
+		return nil, fmt.Errorf("vtkio: implausible grid size %dx%dx%d", hdr[0], hdr[1], hdr[2])
+	}
+	g := data.NewStructuredGrid(int(hdr[0]), int(hdr[1]), int(hdr[2]))
+	geo := make([]float64, 6)
+	if err := binary.Read(r, binary.LittleEndian, geo); err != nil {
+		return nil, err
+	}
+	g.Origin = vec.New(geo[0], geo[1], geo[2])
+	g.Spacing = vec.New(geo[3], geo[4], geo[5])
+	fields, err := readFields(r, g.Count())
+	if err != nil {
+		return nil, err
+	}
+	g.Fields = fields
+	return g, nil
+}
+
+func writeFields(w io.Writer, fields []data.Field) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(fields))); err != nil {
+		return err
+	}
+	for _, f := range fields {
+		if len(f.Name) > math.MaxUint16 {
+			return fmt.Errorf("vtkio: field name too long (%d bytes)", len(f.Name))
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint16(len(f.Name))); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, f.Name); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, uint64(len(f.Values))); err != nil {
+			return err
+		}
+		if err := writeFloat32s(w, f.Values); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFields(r io.Reader, expect int) ([]data.Field, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	if n > 1<<16 {
+		return nil, fmt.Errorf("vtkio: implausible field count %d", n)
+	}
+	fields := make([]data.Field, 0, n)
+	for i := 0; i < int(n); i++ {
+		var nameLen uint16
+		if err := binary.Read(r, binary.LittleEndian, &nameLen); err != nil {
+			return nil, err
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, err
+		}
+		var count uint64
+		if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+			return nil, err
+		}
+		if count != uint64(expect) {
+			return nil, fmt.Errorf("vtkio: field %q has %d values, dataset expects %d", name, count, expect)
+		}
+		vals := make([]float32, count)
+		if err := readFloat32s(r, vals); err != nil {
+			return nil, err
+		}
+		fields = append(fields, data.Field{Name: string(name), Values: vals})
+	}
+	return fields, nil
+}
+
+// writeFloat32s writes a float32 slice in bulk, chunked to bound the
+// scratch buffer.
+func writeFloat32s(w io.Writer, vals []float32) error {
+	const chunk = 1 << 16
+	buf := make([]byte, 0, chunk*4)
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > chunk {
+			n = chunk
+		}
+		buf = buf[:0]
+		for _, v := range vals[:n] {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+func readFloat32s(r io.Reader, vals []float32) error {
+	const chunk = 1 << 16
+	buf := make([]byte, chunk*4)
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > chunk {
+			n = chunk
+		}
+		if _, err := io.ReadFull(r, buf[:n*4]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+func writeInt64s(w io.Writer, vals []int64) error {
+	const chunk = 1 << 15
+	buf := make([]byte, 0, chunk*8)
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > chunk {
+			n = chunk
+		}
+		buf = buf[:0]
+		for _, v := range vals[:n] {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+func readInt64s(r io.Reader, vals []int64) error {
+	const chunk = 1 << 15
+	buf := make([]byte, chunk*8)
+	for len(vals) > 0 {
+		n := len(vals)
+		if n > chunk {
+			n = chunk
+		}
+		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			vals[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
+		}
+		vals = vals[n:]
+	}
+	return nil
+}
+
+func writeUnstructured(w io.Writer, u *data.UnstructuredGrid) error {
+	hdr := []uint64{uint64(len(u.Points)), uint64(len(u.Tets))}
+	if err := binary.Write(w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	coords := make([]float32, 0, 3*len(u.Points))
+	for _, p := range u.Points {
+		coords = append(coords, float32(p.X), float32(p.Y), float32(p.Z))
+	}
+	if err := writeFloat32s(w, coords); err != nil {
+		return err
+	}
+	idx := make([]byte, 0, 16*len(u.Tets))
+	for _, t := range u.Tets {
+		for _, v := range t {
+			idx = binary.LittleEndian.AppendUint32(idx, uint32(v))
+		}
+	}
+	if _, err := w.Write(idx); err != nil {
+		return err
+	}
+	return writeFields(w, u.Fields)
+}
+
+func readUnstructured(r io.Reader) (*data.UnstructuredGrid, error) {
+	hdr := make([]uint64, 2)
+	if err := binary.Read(r, binary.LittleEndian, hdr); err != nil {
+		return nil, err
+	}
+	if hdr[0] > maxReasonable || hdr[1] > maxReasonable {
+		return nil, fmt.Errorf("vtkio: implausible unstructured sizes %d points, %d tets", hdr[0], hdr[1])
+	}
+	nPts, nTets := int(hdr[0]), int(hdr[1])
+	coords := make([]float32, 3*nPts)
+	if err := readFloat32s(r, coords); err != nil {
+		return nil, err
+	}
+	u := &data.UnstructuredGrid{
+		Points: make([]vec.V3, nPts),
+		Tets:   make([][4]int32, nTets),
+	}
+	for i := range u.Points {
+		u.Points[i] = vec.New(float64(coords[3*i]), float64(coords[3*i+1]), float64(coords[3*i+2]))
+	}
+	idx := make([]byte, 16*nTets)
+	if _, err := io.ReadFull(r, idx); err != nil {
+		return nil, err
+	}
+	for i := range u.Tets {
+		for v := 0; v < 4; v++ {
+			raw := binary.LittleEndian.Uint32(idx[16*i+4*v:])
+			if raw >= uint32(nPts) {
+				return nil, fmt.Errorf("vtkio: tet %d references vertex %d of %d", i, raw, nPts)
+			}
+			u.Tets[i][v] = int32(raw)
+		}
+	}
+	fields, err := readFields(r, nPts)
+	if err != nil {
+		return nil, err
+	}
+	u.Fields = fields
+	return u, nil
+}
