@@ -1,0 +1,16 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+# Full gate: vet + build + race-enabled tests.
+check:
+	./scripts/check.sh
+
+bench:
+	go test -bench=. -benchmem ./...

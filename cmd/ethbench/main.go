@@ -3,7 +3,9 @@
 // Performance/power/energy rows come from the calibrated cluster model;
 // RMSE rows come from real renders of the real kernels. Each experiment
 // prints in the paper's row layout so results can be compared side by
-// side; -csv dumps machine-readable copies.
+// side; -csv dumps machine-readable copies. Every experiment also reports
+// its harness wall time, and the run ends with a telemetry table showing
+// where the measured-kernel time went (span counts, totals, p50/p95/p99).
 //
 // Usage:
 //
@@ -11,6 +13,7 @@
 //	ethbench -only fig15    # a single experiment
 //	ethbench -csv results/  # also write CSVs
 //	ethbench -calibrated    # use this machine's measured kernel costs
+//	ethbench -cpuprofile cpu.pb.gz  # pprof capture around the run
 package main
 
 import (
@@ -19,10 +22,15 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"github.com/ascr-ecx/eth/internal/cluster"
 	"github.com/ascr-ecx/eth/internal/experiments"
+	"github.com/ascr-ecx/eth/internal/metrics"
+	"github.com/ascr-ecx/eth/internal/telemetry"
 )
 
 func main() {
@@ -33,7 +41,20 @@ func main() {
 	csvDir := flag.String("csv", "", "directory to write CSV copies")
 	calibrated := flag.Bool("calibrated", false, "use this machine's measured kernel costs for the model")
 	particles := flag.Int("particles", 200_000, "particle count for the measured (RMSE) renders")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
+	noTiming := flag.Bool("notiming", false, "suppress per-experiment timing and the telemetry summary")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.MeasuredParticles = *particles
@@ -45,19 +66,35 @@ func main() {
 		fmt.Println()
 	}
 
-	order, results, err := runAll(cfg, *only)
-	if err != nil {
-		log.Fatal(err)
+	runs := map[string]func(experiments.Config) (experiments.Result, error){
+		"table1": experiments.Table1, "table2": experiments.Table2,
+		"fig8": experiments.Fig8, "fig9": experiments.Fig9,
+		"fig10": experiments.Fig10, "fig11": experiments.Fig11,
+		"fig12": experiments.Fig12, "fig13": experiments.Fig13,
+		"fig14": experiments.Fig14, "fig15": experiments.Fig15,
+	}
+	order := []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+	if *only != "" {
+		if _, ok := runs[*only]; !ok {
+			log.Fatalf("unknown experiment %q", *only)
+		}
+		order = []string{*only}
 	}
 
+	telemetry.Default.Reset()
 	for _, id := range order {
-		res, ok := results[id]
-		if !ok {
-			continue
+		t0 := time.Now()
+		res, err := runs[id](cfg)
+		if err != nil {
+			log.Fatal(err)
 		}
+		wall := time.Since(t0)
 		fmt.Printf("==== %s ====\n", strings.ToUpper(id))
 		if err := res.Table.Fprint(os.Stdout); err != nil {
 			log.Fatal(err)
+		}
+		if !*noTiming {
+			fmt.Printf("(harness: %.3f s)\n", wall.Seconds())
 		}
 		fmt.Println()
 		if *csvDir != "" {
@@ -66,28 +103,40 @@ func main() {
 			}
 		}
 	}
+
+	if !*noTiming {
+		if err := spanTable().Fprint(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+	}
 }
 
-func runAll(cfg experiments.Config, only string) ([]string, map[string]experiments.Result, error) {
-	if only == "" {
-		return experiments.All(cfg)
+// spanTable tabulates where the measured-kernel time went across the
+// whole run: every telemetry span with count, total, and latency
+// quantiles.
+func spanTable() *metrics.Table {
+	t := metrics.NewTable("Where the time went (telemetry spans)",
+		"span", "count", "total s", "p50 ms", "p95 ms", "p99 ms")
+	for _, s := range telemetry.Default.SpanStats() {
+		t.AddRow(s.Name, s.Count, s.Total.Seconds(),
+			float64(s.P50)/1e6, float64(s.P95)/1e6, float64(s.P99)/1e6)
 	}
-	runs := map[string]func(experiments.Config) (experiments.Result, error){
-		"table1": experiments.Table1, "table2": experiments.Table2,
-		"fig8": experiments.Fig8, "fig9": experiments.Fig9,
-		"fig10": experiments.Fig10, "fig11": experiments.Fig11,
-		"fig12": experiments.Fig12, "fig13": experiments.Fig13,
-		"fig14": experiments.Fig14, "fig15": experiments.Fig15,
-	}
-	fn, ok := runs[only]
-	if !ok {
-		return nil, nil, fmt.Errorf("unknown experiment %q", only)
-	}
-	res, err := fn(cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	return []string{only}, map[string]experiments.Result{only: res}, nil
+	return t
 }
 
 func writeCSV(dir, id string, res experiments.Result) error {

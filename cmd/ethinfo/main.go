@@ -1,20 +1,27 @@
-// Command ethinfo inspects ETHD dataset containers: kind, element
-// counts, bounds, and fields with their ranges — the quick sanity check
-// before wiring a file into an experiment. With -vtk it converts the
-// dataset to the ASCII legacy VTK format so it opens in ParaView/VisIt.
+// Command ethinfo inspects ETH artifacts. For ETHD dataset containers it
+// prints kind, element counts, bounds, and fields with their ranges — the
+// quick sanity check before wiring a file into an experiment. With -vtk
+// it converts the dataset to the ASCII legacy VTK format so it opens in
+// ParaView/VisIt. With -journal it instead replays a JSONL run journal
+// written by `ethrun -trace`, reconstructing the run's phase breakdown,
+// event counts, and any recorded errors for post-hoc audit.
 //
 // Usage:
 //
 //	ethinfo data/hacc_step000.ethd
 //	ethinfo -vtk out.vtk data/xrage_step000.ethd
+//	ethinfo -journal trace.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/journal"
+	"github.com/ascr-ecx/eth/internal/metrics"
 	"github.com/ascr-ecx/eth/internal/vtkio"
 )
 
@@ -22,9 +29,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ethinfo: ")
 	vtkOut := flag.String("vtk", "", "also export as ASCII legacy VTK to this path")
+	journalMode := flag.Bool("journal", false, "treat arguments as JSONL run journals and audit them")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal("usage: ethinfo [-vtk out.vtk] file.ethd ...")
+		log.Fatal("usage: ethinfo [-vtk out.vtk] file.ethd ...  |  ethinfo -journal trace.jsonl ...")
+	}
+	if *journalMode {
+		for _, path := range flag.Args() {
+			if err := auditJournal(path); err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+		}
+		return
 	}
 	for _, path := range flag.Args() {
 		ds, err := vtkio.ReadFile(path)
@@ -67,4 +83,62 @@ func printFields(fields []data.Field) {
 		lo, hi := f.MinMax()
 		fmt.Printf("  field    %-16s [%g, %g]\n", f.Name, lo, hi)
 	}
+}
+
+// auditJournal replays a JSONL run journal: run metadata, wall time,
+// event counts by type, the reconstructed per-phase time breakdown, and
+// any recorded errors.
+func auditJournal(path string) error {
+	events, err := journal.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s:\n", path)
+	fmt.Printf("  events   %d\n", len(events))
+	for _, ev := range events {
+		if ev.Type == journal.TypeRunStart {
+			fmt.Printf("  run      %s (started %s)\n", ev.Detail, ev.T.Format("2006-01-02 15:04:05"))
+			break
+		}
+	}
+	wall := journal.Wall(events)
+	fmt.Printf("  wall     %.3f s\n", wall.Seconds())
+
+	counts := journal.CountByType(events)
+	ct := metrics.NewTable("Events by type", "type", "count")
+	for _, ty := range []string{
+		journal.TypeRunStart, journal.TypeRunEnd, journal.TypePhase,
+		journal.TypeDataset, journal.TypeSample, journal.TypeSerialize,
+		journal.TypeTransfer, journal.TypeRender, journal.TypeAnalysis,
+		journal.TypeComposite, journal.TypeError,
+	} {
+		if counts[ty] > 0 {
+			ct.AddRow(ty, counts[ty])
+		}
+	}
+	if err := ct.Fprint(os.Stdout); err != nil {
+		return err
+	}
+
+	breakdown := journal.Breakdown(events)
+	pt := metrics.NewTable("Per-phase breakdown (replayed)", "phase", "seconds", "% of wall")
+	for _, name := range journal.PhaseNames(events) {
+		d := breakdown[name]
+		pct := 0.0
+		if wall > 0 {
+			pct = 100 * float64(d) / float64(wall)
+		}
+		pt.AddRow(name, d.Seconds(), pct)
+	}
+	if err := pt.Fprint(os.Stdout); err != nil {
+		return err
+	}
+
+	if errs := journal.Errors(events); len(errs) > 0 {
+		fmt.Printf("  errors   %d\n", len(errs))
+		for _, ev := range errs {
+			fmt.Printf("    rank=%d step=%d: %s\n", ev.Rank, ev.Step, ev.Err)
+		}
+	}
+	return nil
 }

@@ -20,10 +20,13 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 
 	"github.com/ascr-ecx/eth/internal/cluster"
 	"github.com/ascr-ecx/eth/internal/core"
 	"github.com/ascr-ecx/eth/internal/coupling"
+	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/layout"
 	"github.com/ascr-ecx/eth/internal/render"
 	"github.com/ascr-ecx/eth/internal/sampling"
@@ -37,6 +40,11 @@ func main() {
 	algorithm := flag.String("algorithm", "raycast",
 		fmt.Sprintf("rendering back-end, one of %v", render.Algorithms()))
 	ratio := flag.Float64("sampling", 1.0, "spatial sampling ratio in (0, 1]")
+
+	// Observability flags.
+	trace := flag.String("trace", "", "write the run journal (JSONL) to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 
 	// Measured-mode flags.
 	workload := flag.String("workload", "hacc", "measured: synthetic workload (hacc or xrage)")
@@ -66,26 +74,86 @@ func main() {
 
 	flag.Parse()
 
-	if *specFile != "" {
-		runSpec(*specFile)
-		return
-	}
-	if *modeled {
+	stopProfiles := startProfiles(*cpuprofile, *memprofile)
+	switch {
+	case *specFile != "":
+		runSpec(*specFile, *trace)
+	case *modeled:
 		runModeled(*algorithm, *nodes, *elements, *ratio, *pixels, *imagesPerStep, *timeSteps, *calibrated)
-		return
+	default:
+		runMeasured(measuredArgs{
+			workload: *workload, dataGlob: *dataGlob,
+			particles: *particles, grid: *grid, steps: *steps,
+			algorithm: *algorithm, ranks: *ranks,
+			width: *width, height: *height, images: *imagesM,
+			mode: *mode, ratio: *ratio, method: *method, out: *out,
+			trace: *trace,
+		})
 	}
-	runMeasured(measuredArgs{
-		workload: *workload, dataGlob: *dataGlob,
-		particles: *particles, grid: *grid, steps: *steps,
-		algorithm: *algorithm, ranks: *ranks,
-		width: *width, height: *height, images: *imagesM,
-		mode: *mode, ratio: *ratio, method: *method, out: *out,
-	})
+	stopProfiles()
+}
+
+// startProfiles begins opt-in pprof capture around the run; the returned
+// stop function flushes the CPU profile and writes the heap profile.
+func startProfiles(cpu, mem string) func() {
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return func() {
+		if cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}
+	}
+}
+
+// openTrace creates the journal trace file when requested (nil otherwise,
+// which keeps the run's journal in memory only).
+func openTrace(path string) *journal.Writer {
+	if path == "" {
+		return nil
+	}
+	jw, err := journal.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return jw
+}
+
+// reportMeasured prints the measured result's phase table and closes the
+// trace file.
+func reportMeasured(res core.MeasuredResult, jw *journal.Writer, tracePath string) {
+	fmt.Println()
+	if err := res.PhaseTable().Fprint(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if jw != nil {
+		if err := jw.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n  journal      %s (%d events)\n", tracePath, len(res.Events))
+	}
 }
 
 // runSpec executes a job-layout file (§VII: "the user simply changes the
 // job layout file").
-func runSpec(path string) {
+func runSpec(path, tracePath string) {
 	spec, err := layout.Load(path)
 	if err != nil {
 		log.Fatal(err)
@@ -99,6 +167,8 @@ func runSpec(path string) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	jw := openTrace(tracePath)
+	mspec.Journal = jw
 	res, err := core.RunMeasured(mspec)
 	if err != nil {
 		log.Fatal(err)
@@ -109,6 +179,7 @@ func runSpec(path string) {
 	fmt.Printf("  render       %.3f s\n", res.RenderTime.Seconds())
 	fmt.Printf("  elements     %d\n", res.Elements)
 	fmt.Printf("  interface    %.2f MB moved\n", float64(res.BytesMoved)/1e6)
+	reportMeasured(res, jw, tracePath)
 }
 
 type measuredArgs struct {
@@ -120,6 +191,7 @@ type measuredArgs struct {
 	mode                   string
 	ratio                  float64
 	method, out            string
+	trace                  string
 }
 
 func runMeasured(a measuredArgs) {
@@ -167,6 +239,7 @@ func runMeasured(a measuredArgs) {
 	if err != nil {
 		log.Fatal(err)
 	}
+	jw := openTrace(a.trace)
 	res, err := core.RunMeasured(core.MeasuredSpec{
 		Workload:       wl,
 		Algorithm:      a.algorithm,
@@ -179,6 +252,7 @@ func runMeasured(a measuredArgs) {
 		SamplingRatio:  a.ratio,
 		SamplingMethod: sm,
 		OutDir:         a.out,
+		Journal:        jw,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -189,9 +263,14 @@ func runMeasured(a measuredArgs) {
 	fmt.Printf("  render       %.3f s (summed across ranks)\n", res.RenderTime.Seconds())
 	fmt.Printf("  elements     %d (last step, after sampling)\n", res.Elements)
 	fmt.Printf("  interface    %.2f MB moved\n", float64(res.BytesMoved)/1e6)
+	if res.CompositeStats.MessagesMoved > 0 {
+		fmt.Printf("  composite    %.2f MB over %d rounds\n",
+			float64(res.CompositeStats.BytesMoved)/1e6, res.CompositeStats.Rounds)
+	}
 	if a.out != "" {
 		fmt.Printf("  artifacts    %s\n", a.out)
 	}
+	reportMeasured(res, jw, a.trace)
 }
 
 func runModeled(alg string, nodes int, elements, ratio float64, pixels, images, steps int, calibrated bool) {

@@ -11,9 +11,19 @@ package compositing
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"github.com/ascr-ecx/eth/internal/fb"
 	"github.com/ascr-ecx/eth/internal/par"
+	"github.com/ascr-ecx/eth/internal/telemetry"
+)
+
+// Compositing telemetry: per-composite latency spans plus modeled
+// communication counters, so both the core harness path and the domain
+// sort-last path report merge cost.
+var (
+	ctrCompBytes = telemetry.Default.Counter("compositing.bytes")
+	ctrCompMsgs  = telemetry.Default.Counter("compositing.messages")
 )
 
 // Algorithm selects the compositing schedule.
@@ -80,12 +90,25 @@ func Composite(frames []*fb.Frame, alg Algorithm) (*fb.Frame, Stats, error) {
 			return nil, Stats{}, fmt.Errorf("compositing: frame %d is %dx%d, want %dx%d", i, f.W, f.H, w, h)
 		}
 	}
+	t0 := time.Now()
+	var (
+		out   *fb.Frame
+		stats Stats
+		err   error
+	)
 	switch alg {
 	case BinarySwap:
-		return binarySwap(frames)
+		out, stats, err = binarySwap(frames)
 	default:
-		return directSend(frames)
+		out, stats, err = directSend(frames)
 	}
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	telemetry.Default.ObserveSpan("compositing."+alg.String(), time.Since(t0))
+	ctrCompBytes.Add(stats.BytesMoved)
+	ctrCompMsgs.Add(int64(stats.MessagesMoved))
+	return out, stats, err
 }
 
 func directSend(frames []*fb.Frame) (*fb.Frame, Stats, error) {

@@ -21,13 +21,17 @@ import (
 
 	"github.com/ascr-ecx/eth/internal/blast"
 	"github.com/ascr-ecx/eth/internal/cluster"
+	"github.com/ascr-ecx/eth/internal/compositing"
 	"github.com/ascr-ecx/eth/internal/cosmo"
 	"github.com/ascr-ecx/eth/internal/coupling"
 	"github.com/ascr-ecx/eth/internal/data"
 	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/journal"
+	"github.com/ascr-ecx/eth/internal/metrics"
 	"github.com/ascr-ecx/eth/internal/proxy"
 	"github.com/ascr-ecx/eth/internal/render"
 	"github.com/ascr-ecx/eth/internal/sampling"
+	"github.com/ascr-ecx/eth/internal/telemetry"
 )
 
 // Workload produces the datasets an experiment replays.
@@ -121,6 +125,14 @@ type MeasuredSpec struct {
 	Options render.Options
 	// OutDir, when set, receives PNG artifacts.
 	OutDir string
+	// CompositeAlg selects how multi-rank frames merge into the final
+	// image (direct-send by default).
+	CompositeAlg compositing.Algorithm
+	// Journal, when set, receives the run's structured event stream (a
+	// trace file via journal.Create, or any journal.Writer). When nil the
+	// run still records into a private in-memory journal so the result
+	// carries a per-phase breakdown either way.
+	Journal *journal.Writer
 }
 
 // Validate reports errors.
@@ -145,7 +157,8 @@ func (s MeasuredSpec) Validate() error {
 
 // MeasuredResult reports a measured run.
 type MeasuredResult struct {
-	// Wall is end-to-end time.
+	// Wall is end-to-end time, including dataset generation and the
+	// final composite.
 	Wall time.Duration
 	// RenderTime sums the visualization proxies' render time.
 	RenderTime time.Duration
@@ -155,11 +168,48 @@ type MeasuredResult struct {
 	Elements int
 	// Frames holds each rank's final frame (rank order).
 	Frames []*fb.Frame
+	// Composited is the final cross-rank composited frame (== Frames[0]
+	// for single-rank runs).
+	Composited *fb.Frame
+	// CompositeStats reports the composite's modeled communication.
+	CompositeStats compositing.Stats
+	// Phases is the per-phase wall-clock breakdown reconstructed from the
+	// run journal (generate/sample/serialize/transport/render/analysis/
+	// composite). With concurrent ranks the phase totals sum CPU time
+	// across ranks, so they may exceed Wall; for a single pair they
+	// account for nearly all of it.
+	Phases map[string]time.Duration
+	// Events is the run's full journal (also streamed to Spec.Journal's
+	// backing file, when one was configured).
+	Events []journal.Event
 	// Reports are the raw per-pair reports.
 	Reports []coupling.Report
 }
 
-// RunMeasured executes the spec with real pipelines.
+// PhaseTable renders the per-phase breakdown as a metrics table, phases
+// in pipeline order, with each phase's share of wall time.
+func (r MeasuredResult) PhaseTable() *metrics.Table {
+	t := metrics.NewTable("Per-phase breakdown", "phase", "seconds", "% of wall")
+	var total time.Duration
+	for _, name := range journal.PhaseNames(r.Events) {
+		d := r.Phases[name]
+		total += d
+		t.AddRow(name, d.Seconds(), pctOf(d, r.Wall))
+	}
+	t.AddRow("total", total.Seconds(), pctOf(total, r.Wall))
+	return t
+}
+
+func pctOf(d, wall time.Duration) float64 {
+	if wall <= 0 {
+		return 0
+	}
+	return 100 * float64(d) / float64(wall)
+}
+
+// RunMeasured executes the spec with real pipelines. Every run records a
+// structured journal (streamed to spec.Journal when set) and returns the
+// per-phase wall-clock breakdown reconstructed from it.
 func RunMeasured(spec MeasuredSpec) (MeasuredResult, error) {
 	if err := spec.Validate(); err != nil {
 		return MeasuredResult{}, err
@@ -168,14 +218,40 @@ func RunMeasured(spec MeasuredSpec) (MeasuredResult, error) {
 	if ranks <= 0 {
 		ranks = 1
 	}
+	jw := spec.Journal
+	if jw == nil {
+		jw = journal.New()
+	}
+
+	t0 := time.Now()
+	jw.Emit(journal.Event{
+		Type: journal.TypeRunStart, Rank: -1, Step: -1,
+		Detail: fmt.Sprintf("workload=%s algorithm=%s mode=%s ranks=%d steps=%d images=%d sampling=%g",
+			spec.Workload.Name, spec.Algorithm, spec.Mode, ranks,
+			spec.Workload.Steps, spec.ImagesPerStep, effectiveRatio(spec.SamplingRatio)),
+	})
+
 	// Pre-generate steps once and share across rank proxies (the disk
-	// data is the same file for every rank in the paper's design).
+	// data is the same file for every rank in the paper's design). Each
+	// generation is journaled under the generate phase with rank -1, the
+	// harness's own identity.
 	datasets := make([]data.Dataset, spec.Workload.Steps)
 	for s := range datasets {
+		g0 := time.Now()
 		ds, err := spec.Workload.Generate(s)
 		if err != nil {
-			return MeasuredResult{}, fmt.Errorf("core: generating step %d: %w", s, err)
+			err = fmt.Errorf("core: generating step %d: %w", s, err)
+			jw.Error(-1, s, err)
+			return MeasuredResult{}, err
 		}
+		genDur := time.Since(g0)
+		telemetry.Default.ObserveSpan("core.generate", genDur)
+		jw.Emit(journal.Event{
+			Type: journal.TypeDataset, Phase: journal.PhaseGenerate,
+			Rank: -1, Step: s, DurNS: int64(genDur),
+			Elements: ds.Count(), Bytes: ds.Bytes(),
+			Detail: "workload=" + spec.Workload.Name,
+		})
 		datasets[s] = ds
 	}
 
@@ -187,6 +263,7 @@ func RunMeasured(spec MeasuredSpec) (MeasuredResult, error) {
 			SamplingMethod: spec.SamplingMethod,
 			Seed:           int64(r) + 1,
 			Compress:       spec.Compress,
+			Journal:        jw,
 		}, &proxy.MemSource{Data: datasets})
 		if err != nil {
 			return MeasuredResult{}, err
@@ -198,6 +275,7 @@ func RunMeasured(spec MeasuredSpec) (MeasuredResult, error) {
 			ImagesPerStep: spec.ImagesPerStep,
 			OutDir:        spec.OutDir,
 			Operations:    spec.Operations,
+			Journal:       jw,
 		})
 		if err != nil {
 			return MeasuredResult{}, err
@@ -205,15 +283,11 @@ func RunMeasured(spec MeasuredSpec) (MeasuredResult, error) {
 		pairs[r] = coupling.PairSpec{Sim: sim, Viz: viz}
 	}
 
-	t0 := time.Now()
-	reports, err := coupling.RunPairs(pairs, spec.Mode, spec.LayoutPath)
+	reports, err := coupling.RunPairs(pairs, spec.Mode, spec.LayoutPath, jw)
 	if err != nil {
 		return MeasuredResult{}, err
 	}
-	res := MeasuredResult{
-		Wall:    time.Since(t0),
-		Reports: reports,
-	}
+	res := MeasuredResult{Reports: reports}
 	for _, rep := range reports {
 		res.BytesMoved += rep.BytesMoved
 		res.RenderTime += rep.Viz.TotalRenderTime()
@@ -222,7 +296,45 @@ func RunMeasured(spec MeasuredSpec) (MeasuredResult, error) {
 			res.Frames = append(res.Frames, rep.Viz.Results[n-1].LastFrame)
 		}
 	}
+
+	// Merge the per-rank frames of the last step into the final image —
+	// the sort-last composite every distributed in-situ run ends with.
+	if len(res.Frames) > 1 {
+		c0 := time.Now()
+		comp, cstats, err := compositing.Composite(res.Frames, spec.CompositeAlg)
+		if err != nil {
+			jw.Error(-1, -1, err)
+			return MeasuredResult{}, err
+		}
+		compDur := time.Since(c0)
+		res.Composited = comp
+		res.CompositeStats = cstats
+		jw.Emit(journal.Event{
+			Type: journal.TypeComposite, Phase: journal.PhaseComposite,
+			Rank: -1, Step: -1, DurNS: int64(compDur),
+			Bytes: cstats.BytesMoved,
+			Detail: fmt.Sprintf("algorithm=%s frames=%d rounds=%d",
+				spec.CompositeAlg, len(res.Frames), cstats.Rounds),
+		})
+	} else if len(res.Frames) == 1 {
+		res.Composited = res.Frames[0]
+	}
+
+	res.Wall = time.Since(t0)
+	jw.Emit(journal.Event{
+		Type: journal.TypeRunEnd, Rank: -1, Step: -1, DurNS: int64(res.Wall),
+	})
+	res.Events = jw.Events()
+	res.Phases = journal.Breakdown(res.Events)
 	return res, nil
+}
+
+// effectiveRatio reports the sampling ratio with 0 meaning disabled (1).
+func effectiveRatio(r float64) float64 {
+	if r == 0 {
+		return 1
+	}
+	return r
 }
 
 // ModeledSpec describes a paper-scale modeled experiment.

@@ -13,7 +13,9 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/proxy"
+	"github.com/ascr-ecx/eth/internal/telemetry"
 	"github.com/ascr-ecx/eth/internal/transport"
 )
 
@@ -57,8 +59,10 @@ func RunUnified(sim *proxy.SimProxy, viz *proxy.VizProxy) (Report, error) {
 	if err := viz.EnsureOutDir(); err != nil {
 		return Report{}, err
 	}
+	sp := telemetry.Default.StartSpan("coupling.unified")
 	t0 := time.Now()
 	for step := 0; step < sim.Steps(); step++ {
+		stepSpan := sp.Child("step")
 		ds, err := sim.StepData(step)
 		if err != nil {
 			return Report{}, fmt.Errorf("coupling: step %d: %w", step, err)
@@ -66,7 +70,9 @@ func RunUnified(sim *proxy.SimProxy, viz *proxy.VizProxy) (Report, error) {
 		if _, err := viz.RenderStep(step, ds); err != nil {
 			return Report{}, err
 		}
+		stepSpan.End()
 	}
+	sp.End()
 	return Report{
 		Wall:  time.Since(t0),
 		Steps: sim.Steps(),
@@ -83,6 +89,8 @@ func RunSocketPair(sim *proxy.SimProxy, viz *proxy.VizProxy, layoutPath string, 
 	if err := viz.EnsureOutDir(); err != nil {
 		return Report{}, err
 	}
+	sp := telemetry.Default.StartSpan("coupling.socket")
+	defer sp.End()
 	t0 := time.Now()
 
 	ln, err := transport.Listen(layoutPath, rank, "")
@@ -138,14 +146,18 @@ type PairSpec struct {
 // RunPairs executes several pairs concurrently under the given mode —
 // the multi-rank configuration of Figure 2. Socket mode shares one
 // layout file; rank i registers under i. It returns per-pair reports in
-// rank order.
-func RunPairs(pairs []PairSpec, mode Mode, layoutPath string) ([]Report, error) {
+// rank order. jw (may be nil) receives one phase-transition event per
+// pair start/end plus an error event for any failed pair; per-step
+// generate/sample/transfer/render events come from the proxies
+// themselves, which carry their own journal references.
+func RunPairs(pairs []PairSpec, mode Mode, layoutPath string, jw *journal.Writer) ([]Report, error) {
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("coupling: no pairs")
 	}
 	if mode == Socket && layoutPath == "" {
 		return nil, fmt.Errorf("coupling: socket mode needs a layout path")
 	}
+	telemetry.Default.Gauge("coupling.active_pairs").Set(int64(len(pairs)))
 	reports := make([]Report, len(pairs))
 	errs := make([]error, len(pairs))
 	var wg sync.WaitGroup
@@ -153,15 +165,28 @@ func RunPairs(pairs []PairSpec, mode Mode, layoutPath string) ([]Report, error) 
 	for i, p := range pairs {
 		go func(i int, p PairSpec) {
 			defer wg.Done()
+			jw.Emit(journal.Event{
+				Type: journal.TypePhase, Rank: i, Step: -1,
+				Detail: fmt.Sprintf("pair_start mode=%s", mode),
+			})
 			switch mode {
 			case Socket:
 				reports[i], errs[i] = RunSocketPair(p.Sim, p.Viz, layoutPath, i)
 			default:
 				reports[i], errs[i] = RunUnified(p.Sim, p.Viz)
 			}
+			if errs[i] != nil {
+				jw.Error(i, -1, errs[i])
+			}
+			jw.Emit(journal.Event{
+				Type: journal.TypePhase, Rank: i, Step: -1,
+				DurNS: int64(reports[i].Wall), Bytes: reports[i].BytesMoved,
+				Detail: fmt.Sprintf("pair_end mode=%s steps=%d", mode, reports[i].Steps),
+			})
 		}(i, p)
 	}
 	wg.Wait()
+	telemetry.Default.Gauge("coupling.active_pairs").Set(0)
 	for _, err := range errs {
 		if err != nil {
 			return reports, err

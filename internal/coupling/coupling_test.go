@@ -115,7 +115,7 @@ func TestRunPairsUnified(t *testing.T) {
 		makePair(t, 3, 1, 2),
 		makePair(t, 3, 2, 2),
 	}
-	reports, err := RunPairs(pairs, Unified, "")
+	reports, err := RunPairs(pairs, Unified, "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func TestRunPairsSocket(t *testing.T) {
 		makePair(t, 2, 1, 1),
 	}
 	layout := filepath.Join(t.TempDir(), "layout")
-	reports, err := RunPairs(pairs, Socket, layout)
+	reports, err := RunPairs(pairs, Socket, layout, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,10 +150,10 @@ func TestRunPairsSocket(t *testing.T) {
 }
 
 func TestRunPairsValidation(t *testing.T) {
-	if _, err := RunPairs(nil, Unified, ""); err == nil {
+	if _, err := RunPairs(nil, Unified, "", nil); err == nil {
 		t.Error("empty pairs accepted")
 	}
-	if _, err := RunPairs([]PairSpec{makePair(t, 1, 0, 1)}, Socket, ""); err == nil {
+	if _, err := RunPairs([]PairSpec{makePair(t, 1, 0, 1)}, Socket, "", nil); err == nil {
 		t.Error("socket mode without layout accepted")
 	}
 }

@@ -3,6 +3,7 @@ package data
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/ascr-ecx/eth/internal/vec"
 )
@@ -21,6 +22,9 @@ type PointCloud struct {
 	// Fields holds named per-particle scalars (e.g. speed, mass).
 	Fields []Field
 
+	// boundsMu guards the lazy bounds cache: a dataset shared across rank
+	// proxies is read concurrently (e.g. Partition in every pair).
+	boundsMu  sync.Mutex
 	bounds    vec.AABB
 	boundsSet bool
 }
@@ -66,7 +70,7 @@ func (p *PointCloud) Vel(i int) vec.V3 {
 // SetPos sets the position of particle i.
 func (p *PointCloud) SetPos(i int, v vec.V3) {
 	p.X[i], p.Y[i], p.Z[i] = float32(v.X), float32(v.Y), float32(v.Z)
-	p.boundsSet = false
+	p.InvalidateBounds()
 }
 
 // SetVel sets the velocity of particle i.
@@ -98,6 +102,8 @@ func (p *PointCloud) AddField(name string, values []float32) error {
 // SetPos; callers that mutate X/Y/Z slices directly should call
 // InvalidateBounds.
 func (p *PointCloud) Bounds() vec.AABB {
+	p.boundsMu.Lock()
+	defer p.boundsMu.Unlock()
 	if p.boundsSet {
 		return p.bounds
 	}
@@ -111,7 +117,11 @@ func (p *PointCloud) Bounds() vec.AABB {
 }
 
 // InvalidateBounds drops the cached bounding box.
-func (p *PointCloud) InvalidateBounds() { p.boundsSet = false }
+func (p *PointCloud) InvalidateBounds() {
+	p.boundsMu.Lock()
+	p.boundsSet = false
+	p.boundsMu.Unlock()
+}
 
 // Select returns a new cloud containing the particles at the given
 // indices, with all fields carried over. Indices may repeat.

@@ -3,6 +3,7 @@ package data
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/ascr-ecx/eth/internal/vec"
 )
@@ -19,6 +20,9 @@ type UnstructuredGrid struct {
 	// Fields holds named per-vertex scalars.
 	Fields []Field
 
+	// boundsMu guards the lazy bounds cache: a dataset shared across rank
+	// proxies is read concurrently (e.g. Partition in every pair).
+	boundsMu  sync.Mutex
 	bounds    vec.AABB
 	boundsSet bool
 }
@@ -45,6 +49,8 @@ func (u *UnstructuredGrid) Bytes() int64 {
 
 // Bounds implements Dataset.
 func (u *UnstructuredGrid) Bounds() vec.AABB {
+	u.boundsMu.Lock()
+	defer u.boundsMu.Unlock()
 	if u.boundsSet {
 		return u.bounds
 	}
@@ -58,7 +64,11 @@ func (u *UnstructuredGrid) Bounds() vec.AABB {
 }
 
 // InvalidateBounds drops the cached bounding box after direct mutation.
-func (u *UnstructuredGrid) InvalidateBounds() { u.boundsSet = false }
+func (u *UnstructuredGrid) InvalidateBounds() {
+	u.boundsMu.Lock()
+	u.boundsSet = false
+	u.boundsMu.Unlock()
+}
 
 // Field returns the named field, or ErrFieldMissing.
 func (u *UnstructuredGrid) Field(name string) (*Field, error) {

@@ -1,0 +1,315 @@
+// Package journal is ETH's structured run journal: an append-only JSONL
+// record of what a run actually did — one event per phase transition,
+// dataset generation, sampling decision, wire transfer, render, composite,
+// and error. The harness always records into an in-memory journal; with a
+// trace file configured the same events stream to disk as they happen, one
+// JSON object per line, so a crashed run still leaves an audit trail up to
+// the failure. The Reader half replays a journal after the fact, and
+// Breakdown reconstructs the per-phase wall-clock split the harness
+// reports — the instrumentation analog of the paper's TACC Stats + power
+// meter collection (§V-A), and the visibility SIM-SITU and ISAAC argue
+// in-situ exploration needs.
+package journal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event types. A journal line's "type" field says what happened; timed
+// events additionally carry a "phase" so Breakdown can aggregate them.
+const (
+	// TypeRunStart opens a run; Detail describes the configuration.
+	TypeRunStart = "run_start"
+	// TypeRunEnd closes a run; DurNS is the run's wall-clock time.
+	TypeRunEnd = "run_end"
+	// TypePhase marks a phase transition (pair start/end, mode switches).
+	TypePhase = "phase"
+	// TypeDataset records a dataset generation or fetch.
+	TypeDataset = "dataset"
+	// TypeSample records a sampling decision (method, ratio, kept count).
+	TypeSample = "sample"
+	// TypeSerialize records dataset encoding for the wire.
+	TypeSerialize = "serialize"
+	// TypeTransfer records one wire transfer (Detail: "send" or "recv").
+	TypeTransfer = "transfer"
+	// TypeRender records one rendered time step.
+	TypeRender = "render"
+	// TypeAnalysis records one in-situ analysis operation.
+	TypeAnalysis = "analysis"
+	// TypeComposite records an image composite across ranks.
+	TypeComposite = "composite"
+	// TypeError records a failure; Err carries the message.
+	TypeError = "error"
+)
+
+// Phase names used by timed events. Breakdown sums event durations by
+// these keys to reconstruct where a run's time went.
+const (
+	PhaseGenerate  = "generate"
+	PhaseSample    = "sample"
+	PhaseSerialize = "serialize"
+	PhaseTransport = "transport"
+	PhaseRender    = "render"
+	PhaseAnalysis  = "analysis"
+	PhaseComposite = "composite"
+)
+
+// Phases lists the phase names in pipeline order (for stable reporting).
+var Phases = []string{
+	PhaseGenerate, PhaseSample, PhaseSerialize,
+	PhaseTransport, PhaseRender, PhaseAnalysis, PhaseComposite,
+}
+
+// Event is one journal line. Rank -1 identifies the harness itself (as
+// opposed to a proxy-pair rank); Step -1 means "not step-scoped".
+type Event struct {
+	// T is the wall-clock emission time (stamped by Emit when zero).
+	T time.Time `json:"t"`
+	// Type says what happened (Type* constants).
+	Type string `json:"type"`
+	// Phase attributes the event's duration to a pipeline phase; empty
+	// for untimed bookkeeping events.
+	Phase string `json:"phase,omitempty"`
+	// Rank is the proxy-pair rank, or -1 for the harness.
+	Rank int `json:"rank"`
+	// Step is the simulation time step, or -1 when not step-scoped.
+	Step int `json:"step"`
+	// DurNS is the event's duration in nanoseconds (0 = instantaneous).
+	DurNS int64 `json:"dur_ns,omitempty"`
+	// Bytes counts payload bytes (dataset size, wire bytes, ...).
+	Bytes int64 `json:"bytes,omitempty"`
+	// Elements counts dataset elements after the event.
+	Elements int `json:"elements,omitempty"`
+	// Detail is a short human-readable qualifier.
+	Detail string `json:"detail,omitempty"`
+	// Err is the error message for TypeError events.
+	Err string `json:"err,omitempty"`
+}
+
+// Dur returns the event duration.
+func (e Event) Dur() time.Duration { return time.Duration(e.DurNS) }
+
+// Writer is a concurrent-safe journal recorder. Every event is kept in
+// memory (for same-process replay); when backed by an io.Writer the event
+// also streams out as one JSON line. A nil *Writer is a valid no-op sink,
+// so instrumented code journals unconditionally.
+type Writer struct {
+	mu     sync.Mutex
+	out    io.Writer
+	file   *os.File
+	events []Event
+	err    error
+}
+
+// New returns a memory-only journal.
+func New() *Writer { return &Writer{} }
+
+// NewWriter returns a journal that mirrors events to w as JSONL.
+func NewWriter(w io.Writer) *Writer { return &Writer{out: w} }
+
+// Create returns a journal that mirrors events to a new file at path.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Writer{out: bufio.NewWriter(f), file: f}, nil
+}
+
+// Emit appends one event, stamping T if unset. Safe for concurrent use
+// and on a nil receiver.
+func (j *Writer) Emit(ev Event) {
+	if j == nil {
+		return
+	}
+	if ev.T.IsZero() {
+		ev.T = time.Now()
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.events = append(j.events, ev)
+	if j.out != nil && j.err == nil {
+		raw, err := json.Marshal(ev)
+		if err == nil {
+			raw = append(raw, '\n')
+			_, err = j.out.Write(raw)
+		}
+		if err != nil {
+			j.err = fmt.Errorf("journal: writing event: %w", err)
+		}
+	}
+}
+
+// Error emits a TypeError event for err (no-op when err is nil).
+func (j *Writer) Error(rank, step int, err error) {
+	if j == nil || err == nil {
+		return
+	}
+	j.Emit(Event{Type: TypeError, Rank: rank, Step: step, Err: err.Error()})
+}
+
+// Events returns a copy of everything emitted so far.
+func (j *Writer) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, len(j.events))
+	copy(out, j.events)
+	return out
+}
+
+// Len returns the number of events emitted so far.
+func (j *Writer) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.events)
+}
+
+// Err returns the first write error, if any.
+func (j *Writer) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes and closes the backing file (no-op for memory journals).
+func (j *Writer) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if bw, ok := j.out.(*bufio.Writer); ok {
+		if err := bw.Flush(); err != nil && j.err == nil {
+			j.err = err
+		}
+	}
+	if j.file != nil {
+		if err := j.file.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+		j.file = nil
+	}
+	return j.err
+}
+
+// Read parses a JSONL journal stream. Blank lines are skipped; a malformed
+// line fails with its line number so truncated journals are diagnosable.
+func Read(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return events, fmt.Errorf("journal: line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return events, fmt.Errorf("journal: reading: %w", err)
+	}
+	return events, nil
+}
+
+// ReadFile replays the journal at path.
+func ReadFile(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Breakdown reconstructs the per-phase wall-clock split: the summed
+// duration of every phase-attributed event, keyed by phase name.
+func Breakdown(events []Event) map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, ev := range events {
+		if ev.Phase != "" {
+			out[ev.Phase] += ev.Dur()
+		}
+	}
+	return out
+}
+
+// CountByType tallies events per type.
+func CountByType(events []Event) map[string]int {
+	out := map[string]int{}
+	for _, ev := range events {
+		out[ev.Type]++
+	}
+	return out
+}
+
+// Errors returns every error event.
+func Errors(events []Event) []Event {
+	var out []Event
+	for _, ev := range events {
+		if ev.Type == TypeError || ev.Err != "" {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Wall returns the run's reported wall time: the duration on the last
+// run_end event, or the span between the first and last event timestamps
+// when the journal has no run_end (e.g. a crashed run).
+func Wall(events []Event) time.Duration {
+	for i := len(events) - 1; i >= 0; i-- {
+		if events[i].Type == TypeRunEnd {
+			return events[i].Dur()
+		}
+	}
+	if len(events) < 2 {
+		return 0
+	}
+	return events[len(events)-1].T.Sub(events[0].T)
+}
+
+// PhaseNames returns every phase present in events: known phases first in
+// pipeline order, then any others sorted by name.
+func PhaseNames(events []Event) []string {
+	present := map[string]bool{}
+	for _, ev := range events {
+		if ev.Phase != "" {
+			present[ev.Phase] = true
+		}
+	}
+	var out []string
+	for _, p := range Phases {
+		if present[p] {
+			out = append(out, p)
+			delete(present, p)
+		}
+	}
+	var rest []string
+	for p := range present {
+		rest = append(rest, p)
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}

@@ -1,0 +1,183 @@
+package journal
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilWriterIsSafe(t *testing.T) {
+	var j *Writer
+	j.Emit(Event{Type: TypeRender})
+	j.Error(0, 0, errors.New("boom"))
+	if j.Events() != nil || j.Len() != 0 || j.Err() != nil || j.Close() != nil {
+		t.Error("nil writer misbehaved")
+	}
+}
+
+func TestEmitStampsTime(t *testing.T) {
+	j := New()
+	before := time.Now()
+	j.Emit(Event{Type: TypeRunStart, Rank: -1, Step: -1})
+	evs := j.Events()
+	if len(evs) != 1 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].T.Before(before) {
+		t.Error("T not stamped")
+	}
+	// An explicit timestamp is preserved.
+	at := time.Date(2020, 5, 18, 0, 0, 0, 0, time.UTC)
+	j.Emit(Event{Type: TypeRunEnd, T: at})
+	if got := j.Events()[1].T; !got.Equal(at) {
+		t.Errorf("T = %v, want %v", got, at)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{
+		{Type: TypeRunStart, Rank: -1, Step: -1, Detail: "algorithm=raycast"},
+		{Type: TypeDataset, Phase: PhaseGenerate, Rank: -1, Step: 0, DurNS: 1e6, Elements: 500, Bytes: 12000},
+		{Type: TypeSample, Phase: PhaseSample, Rank: 0, Step: 0, DurNS: 2e5, Elements: 250, Detail: "method=random ratio=0.5"},
+		{Type: TypeTransfer, Phase: PhaseTransport, Rank: 0, Step: 0, DurNS: 3e5, Bytes: 6000, Detail: "send"},
+		{Type: TypeRender, Phase: PhaseRender, Rank: 0, Step: 0, DurNS: 4e6, Elements: 250},
+		{Type: TypeError, Rank: 1, Step: 0, Err: "synthetic failure"},
+		{Type: TypeRunEnd, Rank: -1, Step: -1, DurNS: 6e6},
+	}
+	for _, ev := range want {
+		j.Emit(ev)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Type != w.Type || g.Phase != w.Phase || g.Rank != w.Rank ||
+			g.Step != w.Step || g.DurNS != w.DurNS || g.Bytes != w.Bytes ||
+			g.Elements != w.Elements || g.Detail != w.Detail || g.Err != w.Err {
+			t.Errorf("event %d: got %+v, want %+v", i, g, w)
+		}
+	}
+
+	// The in-memory record and the file replay agree.
+	mem := j.Events()
+	for i := range mem {
+		if mem[i].Type != got[i].Type || mem[i].DurNS != got[i].DurNS {
+			t.Errorf("memory/file divergence at %d", i)
+		}
+	}
+}
+
+func TestBreakdownAndHelpers(t *testing.T) {
+	events := []Event{
+		{Type: TypeRunStart},
+		{Type: TypeDataset, Phase: PhaseGenerate, DurNS: int64(10 * time.Millisecond)},
+		{Type: TypeDataset, Phase: PhaseGenerate, DurNS: int64(5 * time.Millisecond)},
+		{Type: TypeRender, Phase: PhaseRender, DurNS: int64(40 * time.Millisecond)},
+		{Type: TypeComposite, Phase: PhaseComposite, DurNS: int64(2 * time.Millisecond)},
+		{Type: TypePhase, Detail: "pair_end", DurNS: int64(time.Hour)}, // no phase: excluded
+		{Type: TypeError, Err: "x"},
+		{Type: TypeRunEnd, DurNS: int64(60 * time.Millisecond)},
+	}
+	b := Breakdown(events)
+	if b[PhaseGenerate] != 15*time.Millisecond {
+		t.Errorf("generate = %v", b[PhaseGenerate])
+	}
+	if b[PhaseRender] != 40*time.Millisecond {
+		t.Errorf("render = %v", b[PhaseRender])
+	}
+	if len(b) != 3 {
+		t.Errorf("phases = %v", b)
+	}
+	if Wall(events) != 60*time.Millisecond {
+		t.Errorf("wall = %v", Wall(events))
+	}
+	if n := CountByType(events)[TypeDataset]; n != 2 {
+		t.Errorf("dataset count = %d", n)
+	}
+	if errs := Errors(events); len(errs) != 1 || errs[0].Err != "x" {
+		t.Errorf("errors = %v", errs)
+	}
+	if names := PhaseNames(events); len(names) != 3 || names[0] != PhaseGenerate || names[2] != PhaseComposite {
+		t.Errorf("phase names = %v", names)
+	}
+}
+
+func TestWallWithoutRunEnd(t *testing.T) {
+	t0 := time.Now()
+	events := []Event{
+		{Type: TypeRunStart, T: t0},
+		{Type: TypeRender, T: t0.Add(30 * time.Millisecond)},
+	}
+	if Wall(events) != 30*time.Millisecond {
+		t.Errorf("wall = %v", Wall(events))
+	}
+	if Wall(nil) != 0 {
+		t.Error("empty wall nonzero")
+	}
+}
+
+func TestReadSkipsBlankAndFlagsMalformed(t *testing.T) {
+	good := `{"t":"2020-05-18T00:00:00Z","type":"run_start","rank":-1,"step":-1}
+
+{"t":"2020-05-18T00:00:01Z","type":"run_end","rank":-1,"step":-1}
+`
+	events, err := Read(strings.NewReader(good))
+	if err != nil || len(events) != 2 {
+		t.Fatalf("events = %d, err = %v", len(events), err)
+	}
+	if _, err := Read(strings.NewReader("{not json}\n")); err == nil {
+		t.Error("malformed line accepted")
+	} else if !strings.Contains(err.Error(), "line 1") {
+		t.Errorf("error lacks line number: %v", err)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 100
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Emit(Event{Type: TypeRender, Phase: PhaseRender, Rank: w, Step: i, DurNS: 1})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != workers*per {
+		t.Errorf("replayed %d events, want %d", len(events), workers*per)
+	}
+	if Breakdown(events)[PhaseRender] != time.Duration(workers*per) {
+		t.Error("concurrent events lost duration")
+	}
+}

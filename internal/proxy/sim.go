@@ -9,11 +9,20 @@ package proxy
 import (
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/sampling"
+	"github.com/ascr-ecx/eth/internal/telemetry"
 	"github.com/ascr-ecx/eth/internal/transport"
 	"github.com/ascr-ecx/eth/internal/vtkio"
+)
+
+// Simulation-proxy telemetry: per-step generate/sample span aggregation.
+var (
+	spanSimGenerate = telemetry.Default.Span("sim.generate")
+	spanSimSample   = telemetry.Default.Span("sim.sample")
 )
 
 // StepSource supplies the simulation data stream, one dataset per time
@@ -110,6 +119,9 @@ type SimConfig struct {
 	// Compress enables DEFLATE framing on the in-situ interface — the
 	// compression lever of the paper's introduction, traded against CPU.
 	Compress bool
+	// Journal, when set, receives one event per dataset fetch, sampling
+	// decision, wire transfer, and error.
+	Journal *journal.Writer
 }
 
 // SimProxy is one simulation-proxy rank.
@@ -139,20 +151,58 @@ func NewSimProxy(cfg SimConfig, src StepSource) (*SimProxy, error) {
 func (s *SimProxy) Steps() int { return s.src.Steps() }
 
 // StepData prepares the dataset this rank presents to the in-situ
-// interface for step i: the rank's spatial piece, spatially sampled.
+// interface for step i: the rank's spatial piece, spatially sampled. The
+// fetch is journaled under the generate phase, partition + sampling under
+// the sample phase.
 func (s *SimProxy) StepData(i int) (data.Dataset, error) {
+	t0 := time.Now()
 	ds, err := s.src.Step(i)
 	if err != nil {
+		s.cfg.Journal.Error(s.cfg.Rank, i, err)
 		return nil, err
 	}
+	genDur := time.Since(t0)
+	spanSimGenerate.Observe(genDur)
+	s.cfg.Journal.Emit(journal.Event{
+		Type: journal.TypeDataset, Phase: journal.PhaseGenerate,
+		Rank: s.cfg.Rank, Step: i, DurNS: int64(genDur),
+		Elements: ds.Count(), Bytes: ds.Bytes(),
+	})
+
+	t1 := time.Now()
+	before := ds.Count()
 	if s.cfg.Ranks > 1 {
 		pieces := ds.Partition(s.cfg.Ranks)
 		if s.cfg.Rank >= len(pieces) {
-			return nil, fmt.Errorf("proxy: partition produced %d pieces for rank %d", len(pieces), s.cfg.Rank)
+			err := fmt.Errorf("proxy: partition produced %d pieces for rank %d", len(pieces), s.cfg.Rank)
+			s.cfg.Journal.Error(s.cfg.Rank, i, err)
+			return nil, err
 		}
 		ds = pieces[s.cfg.Rank]
 	}
-	return applySampling(ds, s.cfg.SamplingRatio, s.cfg.SamplingMethod, s.cfg.Seed)
+	sampled, err := applySampling(ds, s.cfg.SamplingRatio, s.cfg.SamplingMethod, s.cfg.Seed)
+	if err != nil {
+		s.cfg.Journal.Error(s.cfg.Rank, i, err)
+		return nil, err
+	}
+	sampleDur := time.Since(t1)
+	spanSimSample.Observe(sampleDur)
+	s.cfg.Journal.Emit(journal.Event{
+		Type: journal.TypeSample, Phase: journal.PhaseSample,
+		Rank: s.cfg.Rank, Step: i, DurNS: int64(sampleDur),
+		Elements: sampled.Count(),
+		Detail: fmt.Sprintf("method=%v ratio=%g kept=%d/%d",
+			s.cfg.SamplingMethod, ratioOrOne(s.cfg.SamplingRatio), sampled.Count(), before),
+	})
+	return sampled, nil
+}
+
+// ratioOrOne reports the effective sampling ratio (0 means disabled = 1).
+func ratioOrOne(r float64) float64 {
+	if r == 0 {
+		return 1
+	}
+	return r
 }
 
 // applySampling thins a dataset of either kind.
@@ -176,12 +226,16 @@ func applySampling(ds data.Dataset, ratio float64, method sampling.Method, seed 
 // total payload bytes sent.
 func (s *SimProxy) Serve(conn *transport.Conn) (int64, error) {
 	conn.SetCompression(s.cfg.Compress)
+	conn.Journal = s.cfg.Journal
+	conn.Rank = s.cfg.Rank
 	for step := 0; step < s.Steps(); step++ {
+		conn.Step = step
 		ds, err := s.StepData(step)
 		if err != nil {
 			return conn.BytesSent, fmt.Errorf("proxy: preparing step %d: %w", step, err)
 		}
 		if err := conn.SendDataset(ds); err != nil {
+			s.cfg.Journal.Error(s.cfg.Rank, step, err)
 			return conn.BytesSent, fmt.Errorf("proxy: sending step %d: %w", step, err)
 		}
 		typ, _, ackStep, err := conn.Recv()

@@ -10,6 +10,7 @@ import (
 	"github.com/ascr-ecx/eth/internal/camera"
 	"github.com/ascr-ecx/eth/internal/data"
 	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/render"
 	"github.com/ascr-ecx/eth/internal/telemetry"
 	"github.com/ascr-ecx/eth/internal/transport"
@@ -42,14 +43,21 @@ type VizConfig struct {
 	// received dataset after rendering (§III "easily configurable
 	// visualization operations").
 	Operations []Operation
+	// Journal, when set, receives one event per render, analysis
+	// operation, wire transfer, and error.
+	Journal *journal.Writer
 }
 
 // StepResult instruments one rendered time step.
 type StepResult struct {
-	Step       int
-	Elements   int
-	Images     int
-	Render     time.Duration
+	Step     int
+	Elements int
+	Images   int
+	// Render is the image-rendering time for the step (analysis
+	// operations are timed separately in Analysis).
+	Render time.Duration
+	// Analysis is the time spent in configured analysis operations.
+	Analysis   time.Duration
 	LastFrame  *fb.Frame
 	Primitives int
 	// Ops holds the results of the configured analysis operations.
@@ -89,8 +97,10 @@ func (v *VizProxy) RenderStep(step int, ds data.Dataset) (StepResult, error) {
 	t0 := time.Now()
 	res := StepResult{Step: step, Elements: ds.Count(), Images: v.cfg.ImagesPerStep}
 	bounds := ds.Bounds()
+	imgHist := telemetry.Default.Histogram("viz.render." + v.cfg.Algorithm)
 	var frame *fb.Frame
 	for img := 0; img < v.cfg.ImagesPerStep; img++ {
+		it0 := time.Now()
 		cam := orbitCamera(bounds, img, v.cfg.ImagesPerStep)
 		opt := v.cfg.Options
 		if opt.IsoValue == 0 && isoAlgorithms[v.cfg.Algorithm] {
@@ -101,25 +111,50 @@ func (v *VizProxy) RenderStep(step int, ds data.Dataset) (StepResult, error) {
 		frame = fb.New(v.cfg.Width, v.cfg.Height)
 		stats, err := v.renderer.Render(frame, ds, &cam, opt)
 		if err != nil {
-			return res, fmt.Errorf("proxy: rendering step %d image %d: %w", step, img, err)
+			err = fmt.Errorf("proxy: rendering step %d image %d: %w", step, img, err)
+			v.cfg.Journal.Error(v.cfg.Rank, step, err)
+			return res, err
 		}
 		res.Primitives += stats.Primitives
 		if v.cfg.OutDir != "" {
 			name := fmt.Sprintf("step%03d_img%03d_rank%d.png", step, img, v.cfg.Rank)
 			if err := frame.SavePNG(filepath.Join(v.cfg.OutDir, name)); err != nil {
+				v.cfg.Journal.Error(v.cfg.Rank, step, err)
 				return res, err
 			}
 		}
-	}
-	// Run the configured analysis operations on the step's data.
-	for _, op := range v.cfg.Operations {
-		opRes, err := op.Apply(OpContext{Step: step, Rank: v.cfg.Rank, OutDir: v.cfg.OutDir}, ds)
-		if err != nil {
-			return res, fmt.Errorf("proxy: operation %s on step %d: %w", op.Name(), step, err)
-		}
-		res.Ops = append(res.Ops, opRes)
+		imgHist.ObserveDuration(time.Since(it0))
 	}
 	res.Render = time.Since(t0)
+	telemetry.Default.ObserveSpan("viz.render", res.Render)
+	v.cfg.Journal.Emit(journal.Event{
+		Type: journal.TypeRender, Phase: journal.PhaseRender,
+		Rank: v.cfg.Rank, Step: step, DurNS: int64(res.Render),
+		Elements: res.Elements,
+		Detail:   fmt.Sprintf("algorithm=%s images=%d", v.cfg.Algorithm, res.Images),
+	})
+
+	// Run the configured analysis operations on the step's data, each
+	// under its own analysis span.
+	for _, op := range v.cfg.Operations {
+		ot0 := time.Now()
+		opRes, err := op.Apply(OpContext{Step: step, Rank: v.cfg.Rank, OutDir: v.cfg.OutDir}, ds)
+		if err != nil {
+			err = fmt.Errorf("proxy: operation %s on step %d: %w", op.Name(), step, err)
+			v.cfg.Journal.Error(v.cfg.Rank, step, err)
+			return res, err
+		}
+		opDur := time.Since(ot0)
+		res.Analysis += opDur
+		telemetry.Default.ObserveSpan("viz.op."+op.Name(), opDur)
+		v.cfg.Journal.Emit(journal.Event{
+			Type: journal.TypeAnalysis, Phase: journal.PhaseAnalysis,
+			Rank: v.cfg.Rank, Step: step, DurNS: int64(opDur),
+			Bytes:  opRes.ExtractBytes,
+			Detail: op.Name() + ": " + opRes.Summary,
+		})
+		res.Ops = append(res.Ops, opRes)
+	}
 	res.LastFrame = frame
 	v.Results = append(v.Results, res)
 	ctrSteps.Inc()
@@ -161,10 +196,14 @@ func maxInt(a, b int) int {
 // Receive runs the §III-C visualization-proxy protocol over an
 // established connection: receive datasets, render, ack, until done.
 func (v *VizProxy) Receive(conn *transport.Conn) error {
+	conn.Journal = v.cfg.Journal
+	conn.Rank = v.cfg.Rank
 	step := 0
 	for {
+		conn.Step = step
 		typ, ds, _, err := conn.Recv()
 		if err != nil {
+			v.cfg.Journal.Error(v.cfg.Rank, step, err)
 			return fmt.Errorf("proxy: receiving step %d: %w", step, err)
 		}
 		switch typ {

@@ -1,8 +1,21 @@
-// Package telemetry is ETH's low-overhead counter registry, the stand-in
-// for the TACC Stats hardware-counter collection the paper uses to
-// analyze results (§V-A). Components register named counters and bump
-// them from hot loops with atomic adds; the harness snapshots the
+// Package telemetry is ETH's low-overhead instrumentation registry, the
+// stand-in for the TACC Stats hardware-counter collection the paper uses
+// to analyze results (§V-A). Components register named metrics and update
+// them from hot loops with atomic operations; the harness snapshots the
 // registry per experiment phase and reports deltas.
+//
+// Four metric kinds are provided:
+//
+//   - Counter: monotonically increasing value (rays cast, bytes sent).
+//   - Gauge: last-value metric (current queue depth, active pairs).
+//   - Histogram: log2-bucketed distribution with approximate quantiles
+//     (per-message latency, per-image render time).
+//   - SpanMetric: aggregated wall-clock time for a named code region,
+//     fed by Span start/end pairs or pre-measured durations.
+//
+// All metric updates are lock-free atomic operations; registry lookups
+// take a read lock only (writes happen once per name), so hot loops that
+// cache the returned pointer — or even re-look it up — do not serialize.
 package telemetry
 
 import (
@@ -30,35 +43,125 @@ func (c *Counter) Inc() { c.v.Add(1) }
 // Value returns the current value.
 func (c *Counter) Value() int64 { return c.v.Load() }
 
-// Registry holds a set of named counters. The zero value is ready to use.
+// Gauge is a last-value metric: unlike a Counter it may move in either
+// direction, and snapshots report its instantaneous value.
+type Gauge struct {
+	name string
+	v    atomic.Int64
+}
+
+// Name returns the gauge's registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Set stores the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry holds a set of named metrics. The zero value is ready to use.
 type Registry struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    map[string]*SpanMetric
 }
 
 // Default is the process-wide registry.
 var Default = &Registry{}
 
 // Counter returns the counter with the given name, creating it if needed.
-// Safe for concurrent use; the returned pointer is stable.
+// Safe for concurrent use; the returned pointer is stable. Lookups of an
+// existing counter take only a read lock, so hot loops do not serialize.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.counters == nil {
 		r.counters = map[string]*Counter{}
 	}
-	c, ok := r.counters[name]
-	if !ok {
+	if c = r.counters[name]; c == nil {
 		c = &Counter{name: name}
 		r.counters[name] = c
 	}
 	return c
 }
 
-// Snapshot returns a copy of all counter values at this instant.
-func (r *Registry) Snapshot() Snapshot {
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{name: name}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.hists == nil {
+		r.hists = map[string]*Histogram{}
+	}
+	if h = r.hists[name]; h == nil {
+		h = newHistogram(name)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Span returns the span metric with the given name, creating it if
+// needed.
+func (r *Registry) Span(name string) *SpanMetric {
+	r.mu.RLock()
+	s := r.spans[name]
+	r.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spans == nil {
+		r.spans = map[string]*SpanMetric{}
+	}
+	if s = r.spans[name]; s == nil {
+		s = &SpanMetric{hist: newHistogram(name)}
+		r.spans[name] = s
+	}
+	return s
+}
+
+// Snapshot returns a copy of all counter values at this instant.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	s := Snapshot{}
 	for name, c := range r.counters {
 		s[name] = c.Value()
@@ -66,24 +169,51 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
-// Reset zeroes every counter (for test isolation and per-run phases).
+// Gauges returns a copy of all gauge values at this instant.
+func (r *Registry) Gauges() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := map[string]int64{}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Reset zeroes every metric (for test isolation and per-run phases).
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for _, c := range r.counters {
 		c.v.Store(0)
 	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.hists {
+		h.reset()
+	}
+	for _, s := range r.spans {
+		s.hist.reset()
+	}
 }
 
 // Snapshot is a point-in-time view of counter values.
 type Snapshot map[string]int64
 
-// Delta returns s - earlier per counter (counters absent from earlier are
-// treated as zero).
+// Delta returns s - earlier per counter. Counters absent from earlier are
+// treated as zero; counters present in earlier but absent from s (e.g.
+// after a registry swap) are emitted with negative deltas so the result
+// accounts for every counter either side saw.
 func (s Snapshot) Delta(earlier Snapshot) Snapshot {
 	out := Snapshot{}
 	for name, v := range s {
 		out[name] = v - earlier[name]
+	}
+	for name, v := range earlier {
+		if _, ok := s[name]; !ok {
+			out[name] = -v
+		}
 	}
 	return out
 }

@@ -23,7 +23,20 @@ import (
 	"time"
 
 	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/journal"
+	"github.com/ascr-ecx/eth/internal/telemetry"
 	"github.com/ascr-ecx/eth/internal/vtkio"
+)
+
+// Transport telemetry: byte counters plus per-message latency
+// distributions for the serialize/send/recv legs of every transfer.
+var (
+	ctrBytesSent = telemetry.Default.Counter("transport.bytes_sent")
+	ctrBytesRecv = telemetry.Default.Counter("transport.bytes_recv")
+	ctrMessages  = telemetry.Default.Counter("transport.messages")
+	spanSerial   = telemetry.Default.Span("transport.serialize")
+	spanSend     = telemetry.Default.Span("transport.send")
+	spanRecv     = telemetry.Default.Span("transport.recv")
 )
 
 // MsgType tags a protocol frame.
@@ -59,6 +72,13 @@ type Conn struct {
 	// data-movement accounting.
 	BytesSent     int64
 	BytesReceived int64
+	// Journal, when set, receives one serialize event and one transfer
+	// event per dataset message; Rank and Step label them and are set by
+	// the proxy driving the connection (the transport itself is
+	// step-agnostic).
+	Journal *journal.Writer
+	Rank    int
+	Step    int
 	// compress enables DEFLATE framing for outgoing datasets.
 	compress bool
 }
@@ -84,6 +104,7 @@ func (c *Conn) SetCompression(on bool) { c.compress = on }
 func (c *Conn) SendDataset(ds data.Dataset) error {
 	// Encode to a buffer first to learn the length. Dataset payloads are
 	// the dominant cost; an extra copy is acceptable for framing clarity.
+	t0 := time.Now()
 	var payload payloadBuffer
 	if err := vtkio.Write(&payload, ds); err != nil {
 		return err
@@ -105,14 +126,35 @@ func (c *Conn) SendDataset(ds data.Dataset) error {
 		typ = MsgDatasetFlate
 		out = zbuf.Bytes()
 	}
+	serDur := time.Since(t0)
+	spanSerial.Observe(serDur)
+	c.Journal.Emit(journal.Event{
+		Type: journal.TypeSerialize, Phase: journal.PhaseSerialize,
+		Rank: c.Rank, Step: c.Step, DurNS: int64(serDur),
+		Bytes: int64(len(out)), Elements: ds.Count(),
+	})
+
+	t1 := time.Now()
 	if err := c.writeHeader(typ, int64(len(out))); err != nil {
 		return err
 	}
 	if _, err := c.bw.Write(out); err != nil {
 		return err
 	}
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	sendDur := time.Since(t1)
 	c.BytesSent += int64(len(out))
-	return c.bw.Flush()
+	spanSend.Observe(sendDur)
+	ctrBytesSent.Add(int64(len(out)))
+	ctrMessages.Inc()
+	c.Journal.Emit(journal.Event{
+		Type: journal.TypeTransfer, Phase: journal.PhaseTransport,
+		Rank: c.Rank, Step: c.Step, DurNS: int64(sendDur),
+		Bytes: int64(len(out)), Detail: "send",
+	})
+	return nil
 }
 
 // SendAck sends an acknowledgment for the given step.
@@ -161,6 +203,10 @@ func (c *Conn) Recv() (t MsgType, ds data.Dataset, step int64, err error) {
 	}
 	switch t {
 	case MsgDataset, MsgDatasetFlate:
+		// Time the payload leg only: the header read above blocks on the
+		// peer producing data, so including it would charge think-time to
+		// the transport phase.
+		t0 := time.Now()
 		lr := io.LimitReader(c.br, n)
 		var payload io.Reader = lr
 		var zr io.ReadCloser
@@ -182,6 +228,14 @@ func (c *Conn) Recv() (t MsgType, ds data.Dataset, step int64, err error) {
 			return 0, nil, 0, derr
 		}
 		c.BytesReceived += n
+		recvDur := time.Since(t0)
+		spanRecv.Observe(recvDur)
+		ctrBytesRecv.Add(n)
+		c.Journal.Emit(journal.Event{
+			Type: journal.TypeTransfer, Phase: journal.PhaseTransport,
+			Rank: c.Rank, Step: c.Step, DurNS: int64(recvDur),
+			Bytes: n, Elements: ds.Count(), Detail: "recv",
+		})
 		return MsgDataset, ds, 0, nil
 	case MsgAck:
 		if n != 8 {

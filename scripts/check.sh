@@ -1,0 +1,15 @@
+#!/bin/sh
+# Repo-wide check: vet, build, and race-enabled tests. Run from anywhere.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "ok"
