@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: build test check bench
+.PHONY: build test check bench lint fuzz
 
 build:
 	go build ./...
@@ -8,7 +8,15 @@ build:
 test:
 	go test ./...
 
-# Full gate: vet + build + race-enabled tests.
+# Project-specific static analysis (internal/lint via cmd/ethlint).
+lint:
+	go run ./cmd/ethlint ./...
+
+# Short fuzz pass over the dataset container reader.
+fuzz:
+	go test -run='^$$' -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio/
+
+# Full gate: vet + build + ethlint + race-enabled tests + short fuzz pass.
 check:
 	./scripts/check.sh
 

@@ -60,19 +60,28 @@ func RunUnified(sim *proxy.SimProxy, viz *proxy.VizProxy) (Report, error) {
 		return Report{}, err
 	}
 	sp := telemetry.Default.StartSpan("coupling.unified")
+	defer sp.End()
 	t0 := time.Now()
 	for step := 0; step < sim.Steps(); step++ {
-		stepSpan := sp.Child("step")
-		ds, err := sim.StepData(step)
-		if err != nil {
-			return Report{}, fmt.Errorf("coupling: step %d: %w", step, err)
-		}
-		if _, err := viz.RenderStep(step, ds); err != nil {
+		// The iteration body is a closure so the per-step child span is
+		// deferred-ended even when a step fails; an early return used to
+		// leak both spans and drop the step from the telemetry the
+		// harness's comparisons are built on.
+		if err := func() error {
+			stepSpan := sp.Child("step")
+			defer stepSpan.End()
+			ds, err := sim.StepData(step)
+			if err != nil {
+				return fmt.Errorf("coupling: step %d: %w", step, err)
+			}
+			if _, err := viz.RenderStep(step, ds); err != nil {
+				return err
+			}
+			return nil
+		}(); err != nil {
 			return Report{}, err
 		}
-		stepSpan.End()
 	}
-	sp.End()
 	return Report{
 		Wall:  time.Since(t0),
 		Steps: sim.Steps(),

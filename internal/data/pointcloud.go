@@ -25,8 +25,8 @@ type PointCloud struct {
 	// boundsMu guards the lazy bounds cache: a dataset shared across rank
 	// proxies is read concurrently (e.g. Partition in every pair).
 	boundsMu  sync.Mutex
-	bounds    vec.AABB
-	boundsSet bool
+	bounds    vec.AABB // guarded by boundsMu
+	boundsSet bool     // guarded by boundsMu
 }
 
 var _ Dataset = (*PointCloud)(nil)

@@ -148,6 +148,7 @@ func marchTet(m *Mesh, corners *[8]vec.V3, vals *[8]float32, tet [4]int, iso flo
 		va := vals[tet[a]]
 		vb := vals[tet[b]]
 		t := 0.5
+		//lint:ignore floateq exact divide-by-zero guard: crossing edges give t in [0,1] for any nonzero denominator, and an epsilon would shift vertices on valid steep edges
 		if va != vb {
 			t = float64((iso - va) / (vb - va))
 		}

@@ -156,7 +156,7 @@ func particleColors(p *data.PointCloud, fieldName string, cmap *fb.Colormap, lo,
 	if cmap == nil {
 		cmap = fb.Viridis
 	}
-	if lo == hi {
+	if lo >= hi {
 		lo, hi = f.MinMax()
 	}
 	scale := 0.0

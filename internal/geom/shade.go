@@ -43,7 +43,7 @@ func DrawMesh(frame *fb.Frame, m *Mesh, cam *camera.Camera, opt ShadeOptions) {
 		cmap = fb.Viridis
 	}
 	lo, hi := opt.ScalarLo, opt.ScalarHi
-	if lo == hi {
+	if lo >= hi {
 		lo, hi = scalarRange(m.Scalars)
 	}
 	scale := 0.0
@@ -56,7 +56,7 @@ func DrawMesh(frame *fb.Frame, m *Mesh, cam *camera.Camera, opt ShadeOptions) {
 	}
 	light = light.Norm()
 	ambient := opt.Ambient
-	if ambient == 0 {
+	if ambient <= 0 {
 		ambient = 0.25
 	}
 

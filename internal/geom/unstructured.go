@@ -116,6 +116,7 @@ func marchTetIndexed(m *Mesh, u *data.UnstructuredGrid, tet [4]int32, value func
 	edgePoint := func(a, b int) vec.V3 {
 		va, vb := vals[a], vals[b]
 		t := 0.5
+		//lint:ignore floateq exact divide-by-zero guard: crossing edges give t in [0,1] for any nonzero denominator, and an epsilon would shift vertices on valid steep edges
 		if va != vb {
 			t = float64((iso - va) / (vb - va))
 		}

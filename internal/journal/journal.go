@@ -102,10 +102,10 @@ func (e Event) Dur() time.Duration { return time.Duration(e.DurNS) }
 // so instrumented code journals unconditionally.
 type Writer struct {
 	mu     sync.Mutex
-	out    io.Writer
-	file   *os.File
-	events []Event
-	err    error
+	out    io.Writer // guarded by mu
+	file   *os.File  // guarded by mu
+	events []Event   // guarded by mu
+	err    error     // guarded by mu
 }
 
 // New returns a memory-only journal.

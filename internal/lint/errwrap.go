@@ -1,0 +1,127 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// ErrWrap enforces error-chain transparency: a fmt.Errorf call whose
+// argument list carries an error must format it with %w, so errors.Is and
+// errors.As keep working across the proxy -> transport -> coupling call
+// chain. Formatting an error with %v (or %s) flattens it to text and
+// breaks sentinel checks downstream. Sites that deliberately sever the
+// chain (e.g. to avoid leaking an internal sentinel across an API
+// boundary) should carry //lint:ignore errwrap <reason>.
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "fmt.Errorf with an error argument must wrap it with %w",
+	Run:  runErrWrap,
+}
+
+func runErrWrap(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isFmtErrorf(pass, call) || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := stringLiteral(pass, call.Args[0])
+			if !ok {
+				return true // dynamic format string: nothing to check
+			}
+			verbs, exact := formatVerbs(format)
+			if !exact {
+				return true // explicit arg indexes etc.: too clever, skip
+			}
+			for i, arg := range call.Args[1:] {
+				tv, ok := pass.Info.Types[arg]
+				if !ok || !implementsError(tv.Type) {
+					continue
+				}
+				if i >= len(verbs) {
+					continue // arity mismatch: go vet's department
+				}
+				if verbs[i] != 'w' {
+					pass.Reportf(arg.Pos(),
+						"error argument formatted with %%%c; use %%w so errors.Is/As see the cause", verbs[i])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isFmtErrorf reports whether call is a call to fmt.Errorf.
+func isFmtErrorf(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.FullName() == "fmt.Errorf"
+}
+
+// stringLiteral resolves expr to a constant string (literal or named
+// constant).
+func stringLiteral(pass *Pass, expr ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// formatVerbs returns the verb rune consuming each successive argument of
+// a Printf-style format string, in argument order. Width/precision '*'
+// consume an argument and are recorded as '*'. exact is false when the
+// format uses explicit argument indexes (%[n]v), which this simple
+// scanner does not model.
+func formatVerbs(format string) (verbs []rune, exact bool) {
+	rs := []rune(format)
+	for i := 0; i < len(rs); i++ {
+		if rs[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(rs) {
+			break
+		}
+		if rs[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(rs) && (rs[i] == '#' || rs[i] == '+' || rs[i] == '-' || rs[i] == ' ' || rs[i] == '0') {
+			i++
+		}
+		// explicit argument index: bail out
+		if i < len(rs) && rs[i] == '[' {
+			return nil, false
+		}
+		// width
+		if i < len(rs) && rs[i] == '*' {
+			verbs = append(verbs, '*')
+			i++
+		} else {
+			for i < len(rs) && rs[i] >= '0' && rs[i] <= '9' {
+				i++
+			}
+		}
+		// precision
+		if i < len(rs) && rs[i] == '.' {
+			i++
+			if i < len(rs) && rs[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+			} else {
+				for i < len(rs) && rs[i] >= '0' && rs[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i < len(rs) {
+			verbs = append(verbs, rs[i])
+		}
+	}
+	return verbs, true
+}

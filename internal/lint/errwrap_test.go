@@ -1,0 +1,83 @@
+package lint
+
+import "testing"
+
+const errwrapFixture = `package fix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("boom")
+
+func flattenV() error {
+	return fmt.Errorf("ctx: %v", errSentinel) // want "use %w"
+}
+
+func flattenS() error {
+	return fmt.Errorf("ctx: %s", errSentinel) // want "use %w"
+}
+
+func mixed(step int, err error) error {
+	return fmt.Errorf("step %d failed after %d tries: %v", step, 3, err) // want "use %w"
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("ctx: %w", err)
+}
+
+func stringArg(err error) error {
+	return fmt.Errorf("ctx: %s", err.Error())
+}
+
+func noErrArgs(name string, n int) error {
+	return fmt.Errorf("bad input %q (%d values)", name, n)
+}
+
+func severed(err error) error {
+	//lint:ignore errwrap boundary: do not leak the internal sentinel
+	return fmt.Errorf("request failed: %v", err)
+}
+
+func dynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err)
+}
+
+func starWidth(width int, err error) error {
+	return fmt.Errorf("%*d %v", width, 7, err) // want "use %w"
+}
+`
+
+func TestErrWrap(t *testing.T) {
+	res := runFixture(t, ErrWrap, "example.com/fix", errwrapFixture)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	cases := []struct {
+		format string
+		verbs  string
+		exact  bool
+	}{
+		{"plain", "", true},
+		{"%d and %v", "dv", true},
+		{"100%% done: %w", "w", true},
+		{"%+q %#v %6.2f", "qvf", true},
+		{"%*d", "*d", true},
+		{"%.*f", "*f", true},
+		{"%[1]d", "", false},
+	}
+	for _, c := range cases {
+		verbs, exact := formatVerbs(c.format)
+		got := ""
+		for _, v := range verbs {
+			got += string(v)
+		}
+		if exact != c.exact || (exact && got != c.verbs) {
+			t.Errorf("formatVerbs(%q) = %q/%v, want %q/%v", c.format, got, exact, c.verbs, c.exact)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package lint
+
+import "testing"
+
+const floateqFixture = `package fix
+
+type scalar float32
+
+func eq64(a, b float64) bool {
+	return a == b // want "floating-point"
+}
+
+func neq32(a, b float32) bool {
+	return a != b // want "floating-point"
+}
+
+func named(a, b scalar) bool {
+	return a == b // want "floating-point"
+}
+
+func mixedConst(x float64) bool {
+	return x == 0 // want "floating-point"
+}
+
+func nanIdiom(x float64) bool {
+	return x != x
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+func ordered(a, b float64) bool {
+	return a >= b
+}
+
+func sentinel(x float64) bool {
+	//lint:ignore floateq uninitialized-slot marker is written as exact 0
+	return x == 0
+}
+`
+
+func TestFloatEq(t *testing.T) {
+	res := runFixture(t, FloatEq, "example.com/internal/rt", floateqFixture)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	}
+}
+
+// TestFloatEqScope checks the ban applies only to the numeric hot
+// packages; protocol code may compare floats read off the wire exactly.
+func TestFloatEqScope(t *testing.T) {
+	src := `package fix
+
+func eq64(a, b float64) bool {
+	return a == b
+}
+`
+	runFixture(t, FloatEq, "example.com/internal/transport", src)
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedField enforces the `// guarded by <mu>` annotation convention: a
+// struct field carrying that annotation may only be read or written inside
+// a function that locks the named mutex on the same receiver (Lock for
+// writes; Lock or RLock for reads), or inside a function whose name ends
+// in "Locked" (the caller-holds-the-lock convention). This is the class of
+// the PR 1 bounds-cache race: a lazily computed field read concurrently by
+// every rank proxy without the guard.
+//
+// The check is intraprocedural and conservative: it verifies that the
+// enclosing function contains a lock call on the right mutex, not that the
+// lock dominates the access. Lock-free fast paths should carry
+// //lint:ignore guardedfield <reason>.
+var GuardedField = &Analyzer{
+	Name: "guardedfield",
+	Doc:  "fields annotated `// guarded by <mu>` need the lock held",
+	Run:  runGuardedField,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+type guardInfo struct {
+	structName string
+	fieldName  string
+	muName     string
+}
+
+func runGuardedField(pass *Pass) {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return
+	}
+	for _, file := range pass.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selection, ok := pass.Info.Selections[sel]
+			if !ok || selection.Kind() != types.FieldVal {
+				return true
+			}
+			g, ok := guards[selection.Obj()]
+			if !ok {
+				return true
+			}
+			body, fname := enclosingFunc(stack)
+			if body == nil {
+				pass.Reportf(sel.Pos(), "%s.%s (guarded by %s) accessed outside any function",
+					g.structName, g.fieldName, g.muName)
+				return true
+			}
+			if strings.HasSuffix(fname, "Locked") {
+				return true
+			}
+			base, ok := unparen(sel.X).(*ast.Ident)
+			if !ok {
+				pass.Reportf(sel.Pos(), "%s.%s (guarded by %s) accessed through a non-local expression; hoist the receiver to a variable so the lock can be checked",
+					g.structName, g.fieldName, g.muName)
+				return true
+			}
+			baseObj := pass.Info.Uses[base]
+			if baseObj == nil {
+				baseObj = pass.Info.Defs[base]
+			}
+			write := isWriteAccess(sel, stack)
+			if !locksMutex(pass, body, baseObj, g.muName, write) {
+				verb := "read"
+				need := g.muName + ".Lock or " + g.muName + ".RLock"
+				if write {
+					verb = "written"
+					need = g.muName + ".Lock"
+				}
+				pass.Reportf(sel.Pos(), "%s.%s is %s in %s without %s.%s held (field is guarded by %s)",
+					g.structName, g.fieldName, verb, fname, base.Name, need, g.muName)
+			}
+			return true
+		})
+	}
+}
+
+// collectGuards finds annotated struct fields and maps their types.Var to
+// the guard spec. A `guarded by` annotation naming a mutex field that does
+// not exist in the struct is itself reported.
+func collectGuards(pass *Pass) map[types.Object]guardInfo {
+	guards := make(map[types.Object]guardInfo)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fieldNames := make(map[string]bool)
+			for _, f := range st.Fields.List {
+				for _, name := range f.Names {
+					fieldNames[name.Name] = true
+				}
+			}
+			for _, f := range st.Fields.List {
+				mu := guardAnnotation(f)
+				if mu == "" {
+					continue
+				}
+				if !fieldNames[mu] {
+					pass.Reportf(f.Pos(), "%s: `guarded by %s` names a field that does not exist in %s",
+						fieldList(f), mu, ts.Name.Name)
+					continue
+				}
+				for _, name := range f.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guards[obj] = guardInfo{structName: ts.Name.Name, fieldName: name.Name, muName: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guards
+}
+
+// guardAnnotation extracts the mutex name from a field's doc or line
+// comment, or "".
+func guardAnnotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+func fieldList(f *ast.Field) string {
+	names := make([]string, len(f.Names))
+	for i, n := range f.Names {
+		names[i] = n.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// isWriteAccess reports whether sel is the target of an assignment, an
+// address-of, or an inc/dec statement.
+func isWriteAccess(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	switch p := stack[len(stack)-1].(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range p.Lhs {
+			if unparen(lhs) == sel {
+				return true
+			}
+		}
+	case *ast.UnaryExpr:
+		return p.Op.String() == "&"
+	case *ast.IncDecStmt:
+		return p.X == sel
+	}
+	return false
+}
+
+// locksMutex reports whether body contains a call base.mu.Lock() (or, for
+// reads, base.mu.RLock()) on the same base object.
+func locksMutex(pass *Pass, body *ast.BlockStmt, baseObj types.Object, muName string, write bool) bool {
+	if baseObj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		method, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if method.Sel.Name != "Lock" && (write || method.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := unparen(method.X).(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != muName {
+			return true
+		}
+		base, ok := unparen(muSel.X).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pass.Info.Uses[base] == baseObj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

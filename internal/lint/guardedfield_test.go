@@ -1,0 +1,68 @@
+package lint
+
+import "testing"
+
+// The fixture mirrors the data-package bounds cache: a lazily computed
+// field annotated `// guarded by <mu>`, read by every rank proxy
+// concurrently. racyRead is the PR 1 race reduced to its essentials.
+const guardedFixture = `package fix
+
+import "sync"
+
+type Cache struct {
+	mu  sync.RWMutex
+	val int  // guarded by mu
+	set bool // guarded by mu
+}
+
+func (c *Cache) Get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.val
+}
+
+func (c *Cache) Set(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.val = v
+	c.set = true
+}
+
+func (c *Cache) racyRead() bool {
+	return c.set // want "without"
+}
+
+func (c *Cache) racyWrite(v int) {
+	c.val = v // want "written.*without"
+}
+
+func (c *Cache) readLockedWrite(v int) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.val = v // want "written.*without"
+}
+
+func (c *Cache) valLocked() int { return c.val }
+
+func (c *Cache) fastPath() bool {
+	//lint:ignore guardedfield benign race accepted for the fast path
+	return c.set
+}
+
+type Broken struct {
+	val int // guarded by nosuch // want "does not exist"
+}
+
+func other(c *Cache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.val++
+}
+`
+
+func TestGuardedField(t *testing.T) {
+	res := runFixture(t, GuardedField, "example.com/fix", guardedFixture)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	}
+}

@@ -1,0 +1,104 @@
+package lint
+
+import "testing"
+
+// The positive cases are the par-package worker launches before the PR 2
+// fix: pure compute goroutines where any panic killed the process (or
+// wedged the WaitGroup) with no containment. The negative cases are the
+// three accepted shapes: deferred recover (directly, via a helper, or via
+// a method), an error-carrying channel send, and assignment into a
+// captured error slot.
+const nakedgoFixture = `package fix
+
+type result struct {
+	n   int
+	err error
+}
+
+func work() error { return nil }
+
+type box struct{}
+
+func (b *box) capture() {
+	_ = recover()
+}
+
+func bare(done chan struct{}) {
+	go func() { // want "neither recovers"
+		close(done)
+	}()
+}
+
+func deferRecoverIsANoop() {
+	go func() { // want "neither recovers"
+		defer recover()
+		_ = work()
+	}()
+}
+
+func named() {
+	go namedWorker() // want "named function"
+}
+
+func namedWorker() {}
+
+func recovers() {
+	go func() {
+		defer func() { _ = recover() }()
+		_ = work()
+	}()
+}
+
+func recoversViaMethod(b *box) {
+	go func() {
+		defer b.capture()
+		_ = work()
+	}()
+}
+
+func sendsErrorStruct(c chan result) {
+	go func() {
+		c <- result{n: 1, err: work()}
+	}()
+}
+
+func sendsError(c chan error) {
+	go func() {
+		c <- work()
+	}()
+}
+
+func assignsCaptured(errs []error) {
+	go func() {
+		errs[0] = work()
+	}()
+}
+
+func infallible(done chan struct{}) {
+	//lint:ignore nakedgo closes a channel, nothing can fail
+	go func() {
+		close(done)
+	}()
+}
+`
+
+func TestNakedGo(t *testing.T) {
+	res := runFixture(t, NakedGo, "example.com/internal/fix", nakedgoFixture)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	}
+}
+
+// TestNakedGoScope checks the analyzer keeps out of non-internal
+// packages, where API users may launch goroutines however they like.
+func TestNakedGoScope(t *testing.T) {
+	src := `package fix
+
+func bare(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+`
+	runFixture(t, NakedGo, "example.com/fix", src)
+}

@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanEnd enforces the telemetry-span lifetime invariant: a span obtained
+// from StartSpan or Child and bound to a local variable must be ended via
+// `defer <span>.End()` in the same function scope. A plain (non-deferred)
+// End() call leaks the span on every early return — exactly the bug class
+// PR 1's hand instrumentation had in the coupling drivers, where an error
+// return between StartSpan and End silently dropped the measurement the
+// harness's Figure-8-style comparisons depend on.
+//
+// Spans that escape the function (returned, stored in a struct, passed to
+// a call) are skipped: their lifetime is the caller's business. A loop
+// that opens a per-iteration child span should move the iteration body
+// into a function literal so the defer fires each iteration.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "telemetry spans must be ended via defer on every path",
+	Run:  runSpanEnd,
+}
+
+func runSpanEnd(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					spanEndScope(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				spanEndScope(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// spanEndScope checks one function body, not descending into nested
+// function literals (each literal is its own defer scope and is visited
+// by the outer Inspect).
+func spanEndScope(pass *Pass, body *ast.BlockStmt) {
+	type spanVar struct {
+		obj      types.Object
+		pos      ast.Node
+		name     string // metric name argument if a literal, else ""
+		deferred bool
+		plainEnd bool
+		escapes  bool
+	}
+	var spans []*spanVar
+	byObj := make(map[types.Object]*spanVar)
+
+	// Pass 1: find span-producing assignments in this scope.
+	walkScope(body, func(n ast.Node, stack []ast.Node) {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !isSpanCall(pass, call) {
+			return
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return
+		}
+		if id.Name == "_" {
+			pass.Reportf(as.Pos(), "span from %s is discarded; end it with defer", spanCallName(call))
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		sv := &spanVar{obj: obj, pos: as, name: spanMetricName(call)}
+		spans = append(spans, sv)
+		byObj[obj] = sv
+	})
+	if len(spans) == 0 {
+		return
+	}
+
+	// Pass 2: classify every use of each span variable. This walk does
+	// descend into nested function literals: a span captured by a closure
+	// has a lifetime the closure controls, so it is treated as escaping.
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		sv, ok := byObj[obj]
+		if !ok {
+			return true
+		}
+		for _, anc := range stack {
+			if _, isLit := anc.(*ast.FuncLit); isLit {
+				sv.escapes = true
+				return true
+			}
+		}
+		// A reassignment target (sp = r.StartSpan(...)) is neutral.
+		if as, ok := stack[len(stack)-1].(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if lhs == id {
+					return true
+				}
+			}
+		}
+		// Walk up: id -> SelectorExpr -> CallExpr -> (DeferStmt | ExprStmt).
+		if len(stack) >= 2 {
+			if sel, ok := stack[len(stack)-1].(*ast.SelectorExpr); ok && sel.X == id {
+				switch sel.Sel.Name {
+				case "End":
+					if call := parentCall(stack, sel); call != nil {
+						if _, isDefer := stack[len(stack)-3].(*ast.DeferStmt); isDefer {
+							sv.deferred = true
+						} else {
+							sv.plainEnd = true
+						}
+						return true
+					}
+				case "Child", "Name", "Parent":
+					return true // neutral uses
+				}
+			}
+		}
+		// Any other use (return value, call argument, struct field, send,
+		// reassignment source) hands the span to someone else.
+		sv.escapes = true
+		return true
+	})
+
+	for _, sv := range spans {
+		if sv.deferred || sv.escapes {
+			continue
+		}
+		label := ""
+		if sv.name != "" {
+			label = " " + sv.name
+		}
+		if sv.plainEnd {
+			pass.Reportf(sv.pos.Pos(),
+				"span%s has a non-deferred End(); early returns leak it — use defer, or wrap loop bodies in a func literal", label)
+		} else {
+			pass.Reportf(sv.pos.Pos(), "span%s is never ended; add defer .End()", label)
+		}
+	}
+}
+
+// walkScope walks body without descending into nested function literals.
+func walkScope(body *ast.BlockStmt, fn func(n ast.Node, stack []ast.Node)) {
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		fn(n, stack)
+		return true
+	})
+}
+
+// parentCall returns the CallExpr directly wrapping sel, given the stack
+// below sel's ident (stack[len-1] == sel's parent's child...). It checks
+// stack[len-2] is a CallExpr whose Fun is sel.
+func parentCall(stack []ast.Node, sel *ast.SelectorExpr) *ast.CallExpr {
+	if len(stack) < 3 {
+		return nil
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	if !ok || call.Fun != sel {
+		return nil
+	}
+	return call
+}
+
+// isSpanCall reports whether call is StartSpan(...) or Child(...)
+// returning a *Span (matched by type name, so the analyzer works on any
+// package that follows the telemetry shape, including test fixtures).
+func isSpanCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "StartSpan" && sel.Sel.Name != "Child") {
+		return false
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Span"
+}
+
+func spanCallName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "StartSpan"
+}
+
+// spanMetricName returns the quoted literal metric name, if the first
+// argument is a string literal.
+func spanMetricName(call *ast.CallExpr) string {
+	if len(call.Args) == 0 {
+		return ""
+	}
+	if lit, ok := call.Args[0].(*ast.BasicLit); ok {
+		return lit.Value
+	}
+	return ""
+}

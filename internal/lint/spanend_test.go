@@ -1,0 +1,83 @@
+package lint
+
+import "testing"
+
+// The fixture mirrors the telemetry span shape (StartSpan/Child/End on a
+// type named Span) so the analyzer is tested without importing the real
+// package. The "early" case is the exact PR 1 coupling bug: End on the
+// happy path only, so error returns leak the span.
+const spanFixture = `package fix
+
+type Span struct{}
+
+func (s *Span) End()                    {}
+func (s *Span) Name() string            { return "" }
+func (s *Span) Child(name string) *Span { return s }
+
+type Registry struct{}
+
+func (r *Registry) StartSpan(name string) *Span { return &Span{} }
+
+var reg = &Registry{}
+
+func work() {}
+
+func early(fail bool) int {
+	sp := reg.StartSpan("early") // want "non-deferred End"
+	if fail {
+		return 0
+	}
+	sp.End()
+	return 1
+}
+
+func never() {
+	sp := reg.StartSpan("never") // want "never ended"
+	_ = sp.Name()
+}
+
+func discarded() {
+	_ = reg.StartSpan("discarded") // want "discarded"
+}
+
+func good() {
+	sp := reg.StartSpan("good")
+	defer sp.End()
+	work()
+}
+
+func goodLoop(n int) {
+	sp := reg.StartSpan("loop")
+	defer sp.End()
+	for i := 0; i < n; i++ {
+		func() {
+			step := sp.Child("step")
+			defer step.End()
+			work()
+		}()
+	}
+}
+
+func childLeak(sp *Span) {
+	st := sp.Child("leak") // want "never ended"
+	_ = st.Name()
+}
+
+func escapes() *Span {
+	sp := reg.StartSpan("escapes")
+	return sp
+}
+
+func suppressed() {
+	//lint:ignore spanend measured externally
+	sp := reg.StartSpan("suppressed")
+	_ = sp.Name()
+}
+`
+
+func TestSpanEnd(t *testing.T) {
+	res := runFixture(t, SpanEnd, "example.com/fix", spanFixture)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	}
+}

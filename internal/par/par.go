@@ -15,6 +15,33 @@ import (
 // (GOMAXPROCS), the equivalent of TBB's automatic task-arena size.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
+// panicBox captures the first panic raised by a set of worker goroutines
+// so the coordinator can rethrow it after the workers are joined. Without
+// it, a panic inside a worker kills the whole process from a goroutine
+// with no caller context — and, worse for the harness, can deadlock a
+// WaitGroup mid-sweep so the run wedges instead of failing loudly.
+type panicBox struct {
+	once sync.Once
+	val  any
+	set  bool
+}
+
+// capture is used as `defer pb.capture()` inside a worker; it records the
+// first in-flight panic value and swallows it so sibling workers finish.
+func (b *panicBox) capture() {
+	if v := recover(); v != nil {
+		b.once.Do(func() { b.val = v; b.set = true })
+	}
+}
+
+// rethrow re-raises the captured panic (if any) on the calling goroutine.
+// It must be called after the workers have been joined.
+func (b *panicBox) rethrow() {
+	if b.set {
+		panic(b.val)
+	}
+}
+
 // For runs body(i) for every i in [0, n) using up to workers goroutines.
 // Iterations are dealt in contiguous grains to keep cache behaviour close
 // to a static OpenMP/TBB schedule while still load balancing via work
@@ -57,10 +84,12 @@ func ForGrained(n, workers, grain int, body func(lo, hi int)) {
 	}
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
+	var pb panicBox
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			defer pb.capture()
 			for {
 				lo := int(cursor.Add(int64(grain))) - grain
 				if lo >= n {
@@ -75,6 +104,7 @@ func ForGrained(n, workers, grain int, body func(lo, hi int)) {
 		}()
 	}
 	wg.Wait()
+	pb.rethrow()
 }
 
 // grainFor picks a grain that gives each worker several grains for load
@@ -109,10 +139,12 @@ func ReduceFloat64(n, workers int, identity float64,
 	}
 	partials := make([]float64, workers)
 	var wg sync.WaitGroup
+	var pb panicBox
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			defer pb.capture()
 			acc := identity
 			lo := w * n / workers
 			hi := (w + 1) * n / workers
@@ -123,6 +155,7 @@ func ReduceFloat64(n, workers int, identity float64,
 		}(w)
 	}
 	wg.Wait()
+	pb.rethrow()
 	acc := identity
 	for _, p := range partials {
 		acc = merge(acc, p)
@@ -138,9 +171,10 @@ type Pool struct {
 	tasks chan func()
 	wg    sync.WaitGroup
 	size  int
+	pb    panicBox // first panicked task; rethrown by Wait and ForPool
 
 	mu     sync.Mutex
-	closed bool
+	closed bool // guarded by mu
 }
 
 // NewPool starts a pool with the given number of workers
@@ -156,8 +190,11 @@ func NewPool(workers int) *Pool {
 	for i := 0; i < workers; i++ {
 		go func() {
 			for task := range p.tasks {
-				task()
-				p.wg.Done()
+				func() {
+					defer p.wg.Done()
+					defer p.pb.capture()
+					task()
+				}()
 			}
 		}()
 	}
@@ -175,8 +212,12 @@ func (p *Pool) Submit(task func()) {
 	p.tasks <- task
 }
 
-// Wait blocks until every submitted task has completed.
-func (p *Pool) Wait() { p.wg.Wait() }
+// Wait blocks until every submitted task has completed. If any task
+// panicked, Wait rethrows the first such panic on the caller.
+func (p *Pool) Wait() {
+	p.wg.Wait()
+	p.pb.rethrow()
+}
 
 // Close waits for outstanding tasks and stops the workers. The pool cannot
 // be reused afterwards. Close is idempotent.
@@ -224,4 +265,5 @@ func (p *Pool) ForPool(n int, body func(i int)) {
 		})
 	}
 	wg.Wait()
+	p.pb.rethrow()
 }

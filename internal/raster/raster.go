@@ -104,6 +104,7 @@ func rasterizeTriangle(f *fb.Frame, t *Triangle, y0, y1 int) {
 	// area means opposite winding — rasterize both windings (no culling),
 	// since extraction algorithms do not guarantee orientation.
 	area := edge(v[0].X, v[0].Y, v[1].X, v[1].Y, v[2].X, v[2].Y)
+	//lint:ignore floateq exact degenerate-triangle guard before 1/area; an epsilon would cull thin slivers that still rasterize correctly (area only normalizes interpolation)
 	if area == 0 {
 		return
 	}

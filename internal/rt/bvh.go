@@ -478,6 +478,7 @@ func itoa(i int) string {
 }
 
 func safeInv(x float64) float64 {
+	//lint:ignore floateq exact IEEE special case: only x == 0 needs the explicit +Inf (avoiding -0 sign surprises); any nonzero x divides fine
 	if x == 0 {
 		return math.Inf(1)
 	}

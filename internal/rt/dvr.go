@@ -44,7 +44,7 @@ func RaycastVolume(frame *fb.Frame, g *data.StructuredGrid, cam *camera.Camera, 
 		cmap = fb.Hot
 	}
 	lo, hi := opt.ScalarLo, opt.ScalarHi
-	if lo == hi {
+	if lo >= hi {
 		lo, hi = f.MinMax()
 	}
 	scale := 0.0

@@ -65,7 +65,7 @@ func RaycastSpheresWithBVH(frame *fb.Frame, p *data.PointCloud, bvh *SphereBVH, 
 		return err
 	}
 	ambient := opt.Ambient
-	if ambient == 0 {
+	if ambient <= 0 {
 		ambient = 0.25
 	}
 	light := cam.Eye.Sub(cam.Center).Norm() // headlight
@@ -124,7 +124,7 @@ func scalarColors(p *data.PointCloud, fieldName string, cmap *fb.Colormap, lo, h
 	if cmap == nil {
 		cmap = fb.Viridis
 	}
-	if lo == hi {
+	if lo >= hi {
 		lo, hi = f.MinMax()
 	}
 	scale := 0.0
@@ -168,7 +168,7 @@ func RaycastSlice(frame *fb.Frame, g *data.StructuredGrid, cam *camera.Camera, p
 		cmap = fb.Hot
 	}
 	lo, hi := opt.ScalarLo, opt.ScalarHi
-	if lo == hi {
+	if lo >= hi {
 		lo, hi = f.MinMax()
 	}
 	scale := 0.0
@@ -218,7 +218,7 @@ func RaycastIsosurface(frame *fb.Frame, g *data.StructuredGrid, cam *camera.Came
 		cmap = fb.Hot
 	}
 	lo, hi := opt.ScalarLo, opt.ScalarHi
-	if lo == hi {
+	if lo >= hi {
 		lo, hi = f.MinMax()
 	}
 	scale := 0.0
@@ -233,7 +233,7 @@ func RaycastIsosurface(frame *fb.Frame, g *data.StructuredGrid, cam *camera.Came
 		return fmt.Errorf("rt: grid has non-positive spacing")
 	}
 	ambient := opt.Ambient
-	if ambient == 0 {
+	if ambient <= 0 {
 		ambient = 0.25
 	}
 	light := cam.Eye.Sub(cam.Center).Norm()

@@ -65,10 +65,10 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Registry holds a set of named metrics. The zero value is ready to use.
 type Registry struct {
 	mu       sync.RWMutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	spans    map[string]*SpanMetric
+	counters map[string]*Counter    // guarded by mu
+	gauges   map[string]*Gauge      // guarded by mu
+	hists    map[string]*Histogram  // guarded by mu
+	spans    map[string]*SpanMetric // guarded by mu
 }
 
 // Default is the process-wide registry.

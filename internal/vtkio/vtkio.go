@@ -156,12 +156,15 @@ func readPointCloud(r io.Reader) (*data.PointCloud, error) {
 	if n > maxReasonable {
 		return nil, fmt.Errorf("vtkio: implausible particle count %d", n)
 	}
-	p := data.NewPointCloud(int(n))
-	if err := readInt64s(r, p.IDs); err != nil {
+	// Arrays are grown chunk by chunk as payload actually arrives, so a
+	// corrupt count cannot force a multi-gigabyte allocation up front.
+	p := &data.PointCloud{}
+	var err error
+	if p.IDs, err = readInt64sN(r, int(n)); err != nil {
 		return nil, err
 	}
-	for _, arr := range [][]float32{p.X, p.Y, p.Z, p.VX, p.VY, p.VZ} {
-		if err := readFloat32s(r, arr); err != nil {
+	for _, dst := range []*[]float32{&p.X, &p.Y, &p.Z, &p.VX, &p.VY, &p.VZ} {
+		if *dst, err = readFloat32sN(r, int(n)); err != nil {
 			return nil, err
 		}
 	}
@@ -198,8 +201,13 @@ func readGrid(r io.Reader) (*data.StructuredGrid, error) {
 			return nil, fmt.Errorf("vtkio: implausible grid dimension %d", d)
 		}
 	}
-	if hdr[0]*hdr[1]*hdr[2] > maxReasonable {
-		return nil, fmt.Errorf("vtkio: implausible grid size %dx%dx%d", hdr[0], hdr[1], hdr[2])
+	// Guard the vertex-count product stepwise with divisions: a plain
+	// hdr[0]*hdr[1]*hdr[2] overflows uint64 for dimensions that each pass
+	// the per-axis check, wraps to a small number, and slips through.
+	if hdr[0] > 0 && hdr[1] > 0 {
+		if hdr[1] > maxReasonable/hdr[0] || (hdr[2] > 0 && hdr[2] > maxReasonable/(hdr[0]*hdr[1])) {
+			return nil, fmt.Errorf("vtkio: implausible grid size %dx%dx%d", hdr[0], hdr[1], hdr[2])
+		}
 	}
 	g := data.NewStructuredGrid(int(hdr[0]), int(hdr[1]), int(hdr[2]))
 	geo := make([]float64, 6)
@@ -265,8 +273,8 @@ func readFields(r io.Reader, expect int) ([]data.Field, error) {
 		if count != uint64(expect) {
 			return nil, fmt.Errorf("vtkio: field %q has %d values, dataset expects %d", name, count, expect)
 		}
-		vals := make([]float32, count)
-		if err := readFloat32s(r, vals); err != nil {
+		vals, err := readFloat32sN(r, int(count))
+		if err != nil {
 			return nil, err
 		}
 		fields = append(fields, data.Field{Name: string(name), Values: vals})
@@ -296,23 +304,23 @@ func writeFloat32s(w io.Writer, vals []float32) error {
 	return nil
 }
 
-func readFloat32s(r io.Reader, vals []float32) error {
+// readFloat32sN reads n float32 values, growing the result chunk by chunk
+// so memory use is bounded by the bytes the stream actually delivers
+// (plus one chunk) rather than by an untrusted header count.
+func readFloat32sN(r io.Reader, n int) ([]float32, error) {
 	const chunk = 1 << 16
+	vals := make([]float32, 0, min(n, chunk))
 	buf := make([]byte, chunk*4)
-	for len(vals) > 0 {
-		n := len(vals)
-		if n > chunk {
-			n = chunk
+	for len(vals) < n {
+		c := min(n-len(vals), chunk)
+		if _, err := io.ReadFull(r, buf[:c*4]); err != nil {
+			return nil, err
 		}
-		if _, err := io.ReadFull(r, buf[:n*4]); err != nil {
-			return err
+		for i := 0; i < c; i++ {
+			vals = append(vals, math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:])))
 		}
-		for i := 0; i < n; i++ {
-			vals[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
-		}
-		vals = vals[n:]
 	}
-	return nil
+	return vals, nil
 }
 
 func writeInt64s(w io.Writer, vals []int64) error {
@@ -335,23 +343,22 @@ func writeInt64s(w io.Writer, vals []int64) error {
 	return nil
 }
 
-func readInt64s(r io.Reader, vals []int64) error {
+// readInt64sN reads n int64 values with the same incremental-allocation
+// policy as readFloat32sN.
+func readInt64sN(r io.Reader, n int) ([]int64, error) {
 	const chunk = 1 << 15
+	vals := make([]int64, 0, min(n, chunk))
 	buf := make([]byte, chunk*8)
-	for len(vals) > 0 {
-		n := len(vals)
-		if n > chunk {
-			n = chunk
+	for len(vals) < n {
+		c := min(n-len(vals), chunk)
+		if _, err := io.ReadFull(r, buf[:c*8]); err != nil {
+			return nil, err
 		}
-		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
-			return err
+		for i := 0; i < c; i++ {
+			vals = append(vals, int64(binary.LittleEndian.Uint64(buf[i*8:])))
 		}
-		for i := 0; i < n; i++ {
-			vals[i] = int64(binary.LittleEndian.Uint64(buf[i*8:]))
-		}
-		vals = vals[n:]
 	}
-	return nil
+	return vals, nil
 }
 
 func writeUnstructured(w io.Writer, u *data.UnstructuredGrid) error {
@@ -387,28 +394,36 @@ func readUnstructured(r io.Reader) (*data.UnstructuredGrid, error) {
 		return nil, fmt.Errorf("vtkio: implausible unstructured sizes %d points, %d tets", hdr[0], hdr[1])
 	}
 	nPts, nTets := int(hdr[0]), int(hdr[1])
-	coords := make([]float32, 3*nPts)
-	if err := readFloat32s(r, coords); err != nil {
+	coords, err := readFloat32sN(r, 3*nPts)
+	if err != nil {
 		return nil, err
 	}
-	u := &data.UnstructuredGrid{
-		Points: make([]vec.V3, nPts),
-		Tets:   make([][4]int32, nTets),
-	}
+	// The coordinate payload has fully arrived by this point, so nPts is
+	// backed by delivered bytes and the point allocation is proportional
+	// to actual input, not to an untrusted header count.
+	u := &data.UnstructuredGrid{Points: make([]vec.V3, nPts)}
 	for i := range u.Points {
 		u.Points[i] = vec.New(float64(coords[3*i]), float64(coords[3*i+1]), float64(coords[3*i+2]))
 	}
-	idx := make([]byte, 16*nTets)
-	if _, err := io.ReadFull(r, idx); err != nil {
-		return nil, err
-	}
-	for i := range u.Tets {
-		for v := 0; v < 4; v++ {
-			raw := binary.LittleEndian.Uint32(idx[16*i+4*v:])
-			if raw >= uint32(nPts) {
-				return nil, fmt.Errorf("vtkio: tet %d references vertex %d of %d", i, raw, nPts)
+	// Tets likewise arrive chunk by chunk, validated as they land.
+	const chunk = 1 << 14
+	u.Tets = make([][4]int32, 0, min(nTets, chunk))
+	buf := make([]byte, chunk*16)
+	for len(u.Tets) < nTets {
+		c := min(nTets-len(u.Tets), chunk)
+		if _, err := io.ReadFull(r, buf[:c*16]); err != nil {
+			return nil, err
+		}
+		for i := 0; i < c; i++ {
+			var t [4]int32
+			for v := 0; v < 4; v++ {
+				raw := binary.LittleEndian.Uint32(buf[16*i+4*v:])
+				if uint64(raw) >= uint64(nPts) {
+					return nil, fmt.Errorf("vtkio: tet %d references vertex %d of %d", len(u.Tets), raw, nPts)
+				}
+				t[v] = int32(raw)
 			}
-			u.Tets[i][v] = int32(raw)
+			u.Tets = append(u.Tets, t)
 		}
 	}
 	fields, err := readFields(r, nPts)

@@ -1,5 +1,6 @@
 #!/bin/sh
-# Repo-wide check: vet, build, and race-enabled tests. Run from anywhere.
+# Repo-wide check: vet, build, ethlint, race-enabled tests, and a short
+# fuzz pass over the dataset container reader. Run from anywhere.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -9,7 +10,13 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
+echo "== ethlint ./..."
+go run ./cmd/ethlint ./...
+
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== go test -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio"
+go test -run='^$' -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio/
 
 echo "ok"
