@@ -1,0 +1,33 @@
+package compositing
+
+import (
+	"testing"
+
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/raceflag"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// TestMergeIntoSteadyStateAllocs locks in the zero-allocation steady
+// state of the depth-merge kernel on frames small enough for the serial
+// branch (the parallel branch allocates its par closure by design).
+func TestMergeIntoSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; alloc counts are only meaningful without -race")
+	}
+	dst := fb.New(64, 64) // 4096 px: the largest serial merge
+	src := fb.New(64, 64)
+	for i := range src.Depth {
+		src.Depth[i] = float64(i%7) + 0.5
+		src.Color[i] = vec.New(0.1, 0.2, 0.3)
+	}
+	merge := func() {
+		if err := MergeInto(dst, src); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merge()
+	if allocs := testing.AllocsPerRun(50, merge); allocs > 0 {
+		t.Errorf("steady-state merge allocates %.1f times per op, want 0", allocs)
+	}
+}

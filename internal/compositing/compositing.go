@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/mempool"
 	"github.com/ascr-ecx/eth/internal/par"
 	"github.com/ascr-ecx/eth/internal/telemetry"
 )
@@ -65,13 +66,16 @@ func MergeInto(dst, src *fb.Frame) error {
 	if dst.W != src.W || dst.H != src.H {
 		return fmt.Errorf("compositing: frame sizes differ (%dx%d vs %dx%d)", dst.W, dst.H, src.W, src.H)
 	}
-	par.ForGrained(len(dst.Depth), 0, 4096, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			if src.Depth[i] < dst.Depth[i] {
-				dst.Depth[i] = src.Depth[i]
-				dst.Color[i] = src.Color[i]
-			}
-		}
+	n := len(dst.Depth)
+	if n <= 4096 {
+		// Single-grain frames merge inline: constructing the par closure
+		// would heap-allocate it, and this path must stay allocation-free
+		// at steady state.
+		mergeRange(dst, src, 0, n)
+		return nil
+	}
+	par.ForGrained(n, 0, 4096, func(lo, hi int) {
+		mergeRange(dst, src, lo, hi)
 	})
 	return nil
 }
@@ -113,8 +117,12 @@ func Composite(frames []*fb.Frame, alg Algorithm) (*fb.Frame, Stats, error) {
 
 func directSend(frames []*fb.Frame) (*fb.Frame, Stats, error) {
 	w, h := frames[0].W, frames[0].H
-	out := fb.New(w, h)
-	if err := MergeInto(out, frames[0]); err != nil {
+	// Seed by straight copy from the first input: a MergeInto onto a
+	// freshly cleared frame walks every pixel through a depth compare only
+	// to arrive at the same bytes. The frame comes from the pool (callers
+	// may ReleaseFrame the composite when done; dropping it is fine too).
+	out := mempool.AcquireFrameUncleared(w, h)
+	if err := out.CopyFrom(frames[0]); err != nil {
 		return nil, Stats{}, err
 	}
 	for _, f := range frames[1:] {
@@ -148,9 +156,12 @@ func binarySwap(frames []*fb.Frame) (*fb.Frame, Stats, error) {
 	stats := Stats{}
 	work := make([]*fb.Frame, pow)
 	for i := 0; i < pow; i++ {
-		// Copy so inputs are preserved.
-		cp := fb.New(w, h)
-		if err := MergeInto(cp, frames[i]); err != nil {
+		// Working copies (inputs are preserved) come from the frame pool
+		// and are seeded by straight copy — the previous MergeInto onto a
+		// cleared frame depth-compared every pixel to produce an identical
+		// result. Released back to the pool before returning.
+		cp := mempool.AcquireFrameUncleared(w, h)
+		if err := cp.CopyFrom(frames[i]); err != nil {
 			return nil, Stats{}, err
 		}
 		work[i] = cp
@@ -192,8 +203,10 @@ func binarySwap(frames []*fb.Frame) (*fb.Frame, Stats, error) {
 		}
 	}
 
-	// Final gather: every rank sends its owned region to the root.
-	out := fb.New(w, h)
+	// Final gather: every rank sends its owned region to the root. The
+	// regions tile [0, pixels) exactly, so an uncleared pooled frame is
+	// fully overwritten.
+	out := mempool.AcquireFrameUncleared(w, h)
 	for i := 0; i < pow; i++ {
 		r := regions[i]
 		copy(out.Color[r.lo:r.hi], work[i].Color[r.lo:r.hi])
@@ -202,6 +215,9 @@ func binarySwap(frames []*fb.Frame) (*fb.Frame, Stats, error) {
 			stats.BytesMoved += int64(r.hi-r.lo) * bytesPerPixel
 			stats.MessagesMoved++
 		}
+	}
+	for _, cp := range work {
+		mempool.ReleaseFrame(cp)
 	}
 	stats.Rounds++
 	return out, stats, nil

@@ -27,6 +27,7 @@ type PointCloud struct {
 	boundsMu  sync.Mutex
 	bounds    vec.AABB // guarded by boundsMu
 	boundsSet bool     // guarded by boundsMu
+	gen       uint64   // guarded by boundsMu; bumped on invalidation
 }
 
 var _ Dataset = (*PointCloud)(nil)
@@ -116,11 +117,24 @@ func (p *PointCloud) Bounds() vec.AABB {
 	return b
 }
 
-// InvalidateBounds drops the cached bounding box.
+// InvalidateBounds drops the cached bounding box and advances the
+// cloud's generation.
 func (p *PointCloud) InvalidateBounds() {
 	p.boundsMu.Lock()
 	p.boundsSet = false
+	p.gen++
 	p.boundsMu.Unlock()
+}
+
+// Generation distinguishes successive contents of one PointCloud object:
+// it advances every time InvalidateBounds reports a mutation. Caches
+// keyed by dataset pointer (e.g. a renderer's BVH) must also compare
+// generations, because buffer-reusing decoders rewrite the same object in
+// place for every step.
+func (p *PointCloud) Generation() uint64 {
+	p.boundsMu.Lock()
+	defer p.boundsMu.Unlock()
+	return p.gen
 }
 
 // Select returns a new cloud containing the particles at the given

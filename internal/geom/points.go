@@ -7,11 +7,31 @@ import (
 	"github.com/ascr-ecx/eth/internal/camera"
 	"github.com/ascr-ecx/eth/internal/data"
 	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/mempool"
 	"github.com/ascr-ecx/eth/internal/par"
 	"github.com/ascr-ecx/eth/internal/raster"
 	"github.com/ascr-ecx/eth/internal/telemetry"
 	"github.com/ascr-ecx/eth/internal/vec"
 )
+
+// Per-render scratch pools. The sprite/impostor lists are handed to the
+// caller, who may return them with PutSprites/PutImpostors after drawing
+// (optional, per the mempool ownership convention); colors and keep masks
+// stay internal and recycle every call.
+var (
+	spritePool   mempool.SlicePool[raster.Sprite]
+	impostorPool mempool.SlicePool[raster.Impostor]
+	colorPool    mempool.SlicePool[vec.V3]
+	keepPool     mempool.SlicePool[bool]
+)
+
+// PutSprites returns a slice obtained from MapPoints to the pool. The
+// slice must not be used afterwards.
+func PutSprites(s []raster.Sprite) { spritePool.Put(s) }
+
+// PutImpostors returns a slice obtained from MapSplats to the pool. The
+// slice must not be used afterwards.
+func PutImpostors(s []raster.Impostor) { impostorPool.Put(s) }
 
 // Mapper telemetry counters (TACC-Stats analog).
 var (
@@ -48,8 +68,8 @@ func MapPoints(p *data.PointCloud, cam *camera.Camera, w, h int, opt PointsOptio
 	if size <= 0 {
 		size = 2
 	}
-	sprites := make([]raster.Sprite, p.Count())
-	keep := make([]bool, p.Count())
+	sprites := spritePool.Get(p.Count())
+	keep := getKeep(p.Count())
 	par.For(p.Count(), 0, func(i int) {
 		x, y, depth, ok := cam.Project(p.Pos(i), w, h)
 		if !ok || x < -8 || x >= float64(w)+8 || y < -8 || y >= float64(h)+8 {
@@ -61,8 +81,20 @@ func MapPoints(p *data.PointCloud, cam *camera.Camera, w, h int, opt PointsOptio
 		}
 	})
 	out := compactSprites(sprites, keep)
+	keepPool.Put(keep)
+	colorPool.Put(colors)
 	ctrSprites.Add(int64(len(out)))
 	return out, nil
+}
+
+// getKeep returns an n-element all-false mask from the pool (pooled
+// slices come back with unspecified contents, so it clears them).
+func getKeep(n int) []bool {
+	keep := keepPool.Get(n)
+	for i := range keep {
+		keep[i] = false
+	}
+	return keep
 }
 
 // SplatOptions configures the Gaussian splatter.
@@ -94,8 +126,8 @@ func MapSplats(p *data.PointCloud, cam *camera.Camera, w, h int, opt SplatOption
 	// r/d * (h/2) / tan(fovy/2) pixels vertically.
 	pixPerUnit := float64(h) / 2 / math.Tan(cam.FovY/2)
 
-	imps := make([]raster.Impostor, p.Count())
-	keep := make([]bool, p.Count())
+	imps := impostorPool.Get(p.Count())
+	keep := getKeep(p.Count())
 	par.For(p.Count(), 0, func(i int) {
 		x, y, depth, ok := cam.Project(p.Pos(i), w, h)
 		if !ok {
@@ -119,6 +151,8 @@ func MapSplats(p *data.PointCloud, cam *camera.Camera, w, h int, opt SplatOption
 			out = append(out, imps[i])
 		}
 	}
+	keepPool.Put(keep)
+	colorPool.Put(colors)
 	ctrImpostors.Add(int64(len(out)))
 	return out, nil
 }
@@ -141,7 +175,7 @@ func DefaultSplatRadius(p *data.PointCloud) float64 {
 // by [lo, hi] (or the field's min/max when lo == hi). A missing name
 // yields constant white.
 func particleColors(p *data.PointCloud, fieldName string, cmap *fb.Colormap, lo, hi float32) ([]vec.V3, error) {
-	colors := make([]vec.V3, p.Count())
+	colors := colorPool.Get(p.Count())
 	if fieldName == "" {
 		white := vec.New(1, 1, 1)
 		for i := range colors {
@@ -151,6 +185,7 @@ func particleColors(p *data.PointCloud, fieldName string, cmap *fb.Colormap, lo,
 	}
 	f, err := p.Field(fieldName)
 	if err != nil {
+		colorPool.Put(colors)
 		return nil, fmt.Errorf("geom: color field: %w", err)
 	}
 	if cmap == nil {

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc polices the per-pixel/per-sample inner loops of the rendering
+// and sampling packages: at steady state those loops must not allocate,
+// or the harness's own garbage perturbs the costs it exists to measure
+// (and the zero-alloc regression tests fail). Inside any loop nested two
+// or more deep it flags the three allocation shapes that creep in
+// silently:
+//
+//   - make(...) — a fresh allocation per iteration,
+//   - append(...) — may grow its backing array; hoist the capacity or
+//     bin through pooled scratch,
+//   - interface boxing — passing or assigning a concrete value where an
+//     interface is expected heap-allocates the box (fmt helpers and
+//     sort.Slice closures are the usual culprits).
+//
+// Deliberate cases (e.g. appends amortized by pooled capacity classes)
+// carry //lint:ignore hotalloc <reason>.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no make/growing append/interface boxing in render and sampling hot loops",
+	Run:  runHotAlloc,
+}
+
+// hotAllocPkgs are the packages whose nested loops are per-pixel or
+// per-sample hot paths.
+var hotAllocPkgs = []string{
+	"/internal/raster",
+	"/internal/rt",
+	"/internal/sampling",
+	"/internal/compositing",
+}
+
+// hotLoopDepth is how many enclosing loops make a statement "hot". Depth
+// two captures per-pixel (y/x) and per-primitive-per-band shapes while
+// leaving ordinary single-pass setup loops alone.
+const hotLoopDepth = 2
+
+func runHotAlloc(pass *Pass) {
+	hot := false
+	for _, suffix := range hotAllocPkgs {
+		if strings.HasSuffix(pass.PkgPath, suffix) {
+			hot = true
+			break
+		}
+	}
+	if !hot {
+		return
+	}
+	for _, file := range pass.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			depth := 0
+			for _, a := range stack {
+				switch a.(type) {
+				case *ast.ForStmt, *ast.RangeStmt:
+					depth++
+				}
+			}
+			if depth < hotLoopDepth {
+				return true
+			}
+			switch node := n.(type) {
+			case *ast.CallExpr:
+				checkHotCall(pass, node)
+			case *ast.AssignStmt:
+				checkHotAssign(pass, node)
+			}
+			return true
+		})
+	}
+}
+
+// checkHotCall flags allocating builtins, conversions to interface types,
+// and concrete arguments passed to interface parameters.
+func checkHotCall(pass *Pass, call *ast.CallExpr) {
+	fun := unparen(call.Fun)
+	if id, ok := fun.(*ast.Ident); ok {
+		if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "make":
+				pass.Reportf(call.Pos(), "make in hot loop allocates every iteration; hoist it or use pooled scratch")
+			case "append":
+				pass.Reportf(call.Pos(), "append in hot loop may grow its backing array; pre-size the slice or use pooled scratch")
+			}
+			return
+		}
+	}
+	tv, ok := pass.Info.Types[fun]
+	if !ok {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion: boxing only when the target is an interface
+		// and the operand is concrete.
+		if isInterfaceType(tv.Type) && len(call.Args) == 1 && isConcrete(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(), "conversion to %s in hot loop boxes its operand on the heap", tv.Type.String())
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through; no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if isInterfaceType(pt) && isConcrete(pass, arg) {
+			pass.Reportf(arg.Pos(), "argument boxes into interface %s in hot loop", pt.String())
+		}
+	}
+}
+
+// checkHotAssign flags plain assignments that store a concrete value into
+// an interface-typed location.
+func checkHotAssign(pass *Pass, st *ast.AssignStmt) {
+	for i, lhs := range st.Lhs {
+		if i >= len(st.Rhs) {
+			break // N-to-1 assignment; conversion handled at the call
+		}
+		if id, ok := lhs.(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		ltv, lok := pass.Info.Types[lhs]
+		if !lok || !isInterfaceType(ltv.Type) {
+			continue
+		}
+		if isConcrete(pass, st.Rhs[i]) {
+			pass.Reportf(st.Rhs[i].Pos(), "assignment boxes into interface %s in hot loop", ltv.Type.String())
+		}
+	}
+}
+
+// isInterfaceType reports whether t's underlying type is an interface.
+func isInterfaceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+// isConcrete reports whether expr has a concrete (boxable) type: not an
+// interface already, and not untyped nil.
+func isConcrete(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.IsNil() || tv.Type == nil {
+		return false
+	}
+	return !isInterfaceType(tv.Type)
+}

@@ -1,0 +1,126 @@
+package lint
+
+import "testing"
+
+const hotallocFixture = `package fix
+
+import "fmt"
+
+func makeInHotLoop(w, h int) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			buf := make([]byte, 16) // want "make in hot loop"
+			_ = buf
+		}
+	}
+}
+
+func appendInHotLoop(rows [][]int) {
+	for _, row := range rows {
+		for _, v := range row {
+			var out []int
+			out = append(out, v) // want "append in hot loop"
+			_ = out
+		}
+	}
+}
+
+func boxingArgInHotLoop(xs []int) {
+	for range xs {
+		for _, v := range xs {
+			fmt.Sprintln(v) // want "boxes into interface"
+		}
+	}
+}
+
+func boxingAssignInHotLoop(xs []int) {
+	var sink interface{}
+	for range xs {
+		for _, v := range xs {
+			sink = v // want "assignment boxes into interface"
+		}
+	}
+	_ = sink
+}
+
+func boxingConversionInHotLoop(xs []int) {
+	for range xs {
+		for _, v := range xs {
+			_ = interface{}(v) // want "conversion to"
+		}
+	}
+}
+
+// Loops through a function literal still count: par.For-style bodies run
+// once per element of an outer sweep.
+func throughFuncLit(xs []int, run func(func(int))) {
+	for range xs {
+		run(func(i int) { // depth 1 at the call site: not flagged
+			for j := 0; j < i; j++ {
+				_ = make([]byte, j) // want "make in hot loop"
+			}
+		})
+	}
+}
+
+func setupLoopIsFine(n int) [][]int {
+	out := make([][]int, n)
+	for i := range out {
+		out[i] = make([]int, 0, 8)
+	}
+	return out
+}
+
+func interfaceToInterfaceIsFine(xs []error) {
+	var sink interface{}
+	for range xs {
+		for _, e := range xs {
+			sink = e // already an interface: no box
+		}
+	}
+	_ = sink
+}
+
+func nilIsFine(xs []int) {
+	var sink interface{}
+	for range xs {
+		for range xs {
+			sink = nil
+		}
+	}
+	_ = sink
+}
+
+func suppressed(rows [][]int32, out []int32) []int32 {
+	for _, row := range rows {
+		for _, v := range row {
+			//lint:ignore hotalloc capacity amortized by pooled scratch
+			out = append(out, v)
+		}
+	}
+	return out
+}
+`
+
+func TestHotAlloc(t *testing.T) {
+	res := runFixture(t, HotAlloc, "example.com/internal/raster", hotallocFixture)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	}
+}
+
+// TestHotAllocScope checks only the per-pixel/per-sample packages are
+// policed; orchestration code may allocate in nested loops freely.
+func TestHotAllocScope(t *testing.T) {
+	src := `package fix
+
+func nested(w, h int) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			_ = make([]byte, 16)
+		}
+	}
+}
+`
+	runFixture(t, HotAlloc, "example.com/internal/proxy", src)
+}

@@ -1,0 +1,165 @@
+package mempool
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/ascr-ecx/eth/internal/raceflag"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3},
+		{1024, 10}, {1025, 11},
+		{1 << maxClass, maxClass},
+		{1<<maxClass + 1, maxClass + 1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPutClassFor(t *testing.T) {
+	cases := []struct{ capacity, want int }{
+		{0, -1}, {1, 0}, {2, 1}, {3, 1}, {4, 2},
+		{1 << maxClass, maxClass},
+		{1 << (maxClass + 1), -1},
+	}
+	for _, c := range cases {
+		if got := putClassFor(c.capacity); got != c.want {
+			t.Errorf("putClassFor(%d) = %d, want %d", c.capacity, got, c.want)
+		}
+	}
+	// Invariant: a buffer Put at capacity C serves any future Get(n) with
+	// n <= C from its class.
+	for _, capacity := range []int{1, 7, 64, 1000, 4096} {
+		c := putClassFor(capacity)
+		if c < 0 {
+			t.Fatalf("putClassFor(%d) < 0", capacity)
+		}
+		if 1<<c > capacity {
+			t.Errorf("putClassFor(%d) = %d: class size %d exceeds capacity", capacity, c, 1<<c)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	b := Bytes(1000)
+	if len(b) != 1000 {
+		t.Fatalf("len = %d, want 1000", len(b))
+	}
+	if cap(b) != 1024 {
+		t.Fatalf("cap = %d, want size class 1024", cap(b))
+	}
+	b[0], b[999] = 0xAA, 0xBB
+	PutBytes(b)
+	// A same-class request must be servable without growing.
+	b2 := Bytes(600)
+	if len(b2) != 600 {
+		t.Fatalf("len = %d, want 600", len(b2))
+	}
+	PutBytes(b2)
+}
+
+func TestBytesOversized(t *testing.T) {
+	n := 1<<maxClass + 1
+	b := Bytes(n)
+	if len(b) != n {
+		t.Fatalf("len = %d, want %d", len(b), n)
+	}
+	PutBytes(b) // must not panic; simply unpooled
+}
+
+func TestSlicePool(t *testing.T) {
+	var sp SlicePool[vec.V3]
+	s := sp.Get(100)
+	if len(s) != 100 || cap(s) != 128 {
+		t.Fatalf("len=%d cap=%d, want 100/128", len(s), cap(s))
+	}
+	s[0] = vec.New(1, 2, 3)
+	sp.Put(s)
+	s2 := sp.Get(128)
+	if len(s2) != 128 {
+		t.Fatalf("len = %d, want 128", len(s2))
+	}
+	sp.Put(s2)
+}
+
+func TestSlicePoolConcurrent(t *testing.T) {
+	var sp SlicePool[float64]
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := sp.Get(256)
+				for j := range s {
+					s[j] = float64(j)
+				}
+				sp.Put(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestAcquireFrameCleared(t *testing.T) {
+	f := AcquireFrame(16, 8)
+	if f.W != 16 || f.H != 8 {
+		t.Fatalf("got %dx%d, want 16x8", f.W, f.H)
+	}
+	// Dirty it and release; the next acquire must come back cleared.
+	f.Color[0] = vec.New(1, 1, 1)
+	f.Depth[0] = 0.5
+	ReleaseFrame(f)
+	g := AcquireFrame(16, 8)
+	if g.Color[0] != (vec.V3{}) {
+		t.Errorf("pooled frame not cleared: color %v", g.Color[0])
+	}
+	if !math.IsInf(g.Depth[0], 1) {
+		t.Errorf("pooled frame not cleared: depth %v", g.Depth[0])
+	}
+	ReleaseFrame(g)
+	// Distinct dimensions draw from distinct pools.
+	h := AcquireFrame(8, 8)
+	if h.W != 8 || h.H != 8 {
+		t.Fatalf("got %dx%d, want 8x8", h.W, h.H)
+	}
+	ReleaseFrame(h)
+	ReleaseFrame(nil) // no-op
+}
+
+func TestSteadyStateAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	// Warm the pools.
+	PutBytes(Bytes(4096))
+	var sp SlicePool[int32]
+	sp.Put(sp.Get(512))
+	ReleaseFrame(AcquireFrame(32, 32))
+
+	if n := testing.AllocsPerRun(100, func() {
+		b := Bytes(4096)
+		PutBytes(b)
+	}); n != 0 {
+		t.Errorf("Bytes/PutBytes steady state: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		s := sp.Get(512)
+		sp.Put(s)
+	}); n != 0 {
+		t.Errorf("SlicePool steady state: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		f := AcquireFrame(32, 32)
+		ReleaseFrame(f)
+	}); n != 0 {
+		t.Errorf("AcquireFrame steady state: %v allocs/op, want 0", n)
+	}
+}

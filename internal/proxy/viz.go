@@ -68,6 +68,10 @@ type StepResult struct {
 type VizProxy struct {
 	cfg      VizConfig
 	renderer render.Renderer
+	// scratch is the persistent render target: every image of every step
+	// renders into it (cleared between images), so the per-image path
+	// allocates no framebuffers at steady state.
+	scratch *fb.Frame
 	// Results accumulates per-step instrumentation.
 	Results []StepResult
 }
@@ -98,7 +102,11 @@ func (v *VizProxy) RenderStep(step int, ds data.Dataset) (StepResult, error) {
 	res := StepResult{Step: step, Elements: ds.Count(), Images: v.cfg.ImagesPerStep}
 	bounds := ds.Bounds()
 	imgHist := telemetry.Default.Histogram("viz.render." + v.cfg.Algorithm)
-	var frame *fb.Frame
+	frame := v.scratch
+	if frame == nil || frame.W != v.cfg.Width || frame.H != v.cfg.Height {
+		frame = fb.New(v.cfg.Width, v.cfg.Height)
+		v.scratch = frame
+	}
 	for img := 0; img < v.cfg.ImagesPerStep; img++ {
 		it0 := time.Now()
 		cam := orbitCamera(bounds, img, v.cfg.ImagesPerStep)
@@ -108,7 +116,7 @@ func (v *VizProxy) RenderStep(step int, ds data.Dataset) (StepResult, error) {
 			// isovalue for 1000 images").
 			opt.IsoValue = 0.25 + 0.5*float32(img)/float32(v.cfg.ImagesPerStep)
 		}
-		frame = fb.New(v.cfg.Width, v.cfg.Height)
+		frame.Clear(vec.V3{})
 		stats, err := v.renderer.Render(frame, ds, &cam, opt)
 		if err != nil {
 			err = fmt.Errorf("proxy: rendering step %d image %d: %w", step, img, err)
@@ -155,7 +163,14 @@ func (v *VizProxy) RenderStep(step int, ds data.Dataset) (StepResult, error) {
 		})
 		res.Ops = append(res.Ops, opRes)
 	}
-	res.LastFrame = frame
+	// Results retains LastFrame beyond this step while the scratch frame
+	// is overwritten by the next image, so snapshot it (one per-step copy
+	// instead of the old one-allocation-per-image).
+	last := fb.New(v.cfg.Width, v.cfg.Height)
+	if err := last.CopyFrom(frame); err != nil {
+		return res, err
+	}
+	res.LastFrame = last
 	v.Results = append(v.Results, res)
 	ctrSteps.Inc()
 	ctrImages.Add(int64(res.Images))
@@ -198,6 +213,10 @@ func maxInt(a, b int) int {
 func (v *VizProxy) Receive(conn *transport.Conn) error {
 	conn.Journal = v.cfg.Journal
 	conn.Rank = v.cfg.Rank
+	// Each step is rendered and analyzed before the next Recv, and neither
+	// the renderers nor the analysis operations retain the dataset, so the
+	// connection can decode every step into the previous step's arrays.
+	conn.SetDatasetReuse(true)
 	step := 0
 	for {
 		conn.Step = step

@@ -1,0 +1,40 @@
+package raster
+
+import "sync"
+
+// parallelBinMin is the primitive count below which binning stays serial:
+// under it the per-goroutine fan-out costs more than the scan it splits.
+const parallelBinMin = 1 << 13
+
+// binScratch is the reusable per-frame binning state. bins is a flattened
+// [worker][band] table (index w*bands+b); each inner slice keeps its
+// capacity across frames, so a steady sequence of similar frames bins
+// with zero allocation. Primitives are binned by contiguous index chunk
+// per worker, and each band drains its workers in order, so the rasterize
+// order per band is identical to a single serial binning pass regardless
+// of worker count.
+type binScratch struct {
+	bins [][]int32
+}
+
+var binPool sync.Pool
+
+// getBins returns a scratch with n empty bin lists, reusing both the
+// outer table and the inner lists' capacity from previous frames.
+func getBins(n int) *binScratch {
+	s, _ := binPool.Get().(*binScratch)
+	if s == nil {
+		s = &binScratch{}
+	}
+	if cap(s.bins) < n {
+		s.bins = append(s.bins[:cap(s.bins)], make([][]int32, n-cap(s.bins))...)
+	}
+	s.bins = s.bins[:n]
+	for i := range s.bins {
+		s.bins[i] = s.bins[i][:0]
+	}
+	return s
+}
+
+// putBins returns the scratch for reuse by a later frame.
+func putBins(s *binScratch) { binPool.Put(s) }

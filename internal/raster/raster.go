@@ -67,6 +67,11 @@ func DrawTriangles(f *fb.Frame, tris []Triangle, workers int) {
 // DrawTrianglesBanded is DrawTriangles with an explicit scanline-band
 // height — smaller bands balance load better, larger bands amortize
 // binning; the ablation bench sweeps this trade-off.
+//
+// Binning runs on pooled scratch (zero steady-state allocation) and, for
+// large triangle counts, in parallel: each worker bins a contiguous index
+// chunk into private per-band lists, and each band drains its workers in
+// chunk order, so the per-band rasterize order matches a serial pass.
 func DrawTrianglesBanded(f *fb.Frame, tris []Triangle, workers, bandHeight int) {
 	if len(tris) == 0 {
 		return
@@ -75,26 +80,72 @@ func DrawTrianglesBanded(f *fb.Frame, tris []Triangle, workers, bandHeight int) 
 		bandHeight = 1
 	}
 	bands := (f.H + bandHeight - 1) / bandHeight
-	bins := make([][]int32, bands)
-	for i, t := range tris {
+	wk := workers
+	if wk <= 0 {
+		wk = par.DefaultWorkers()
+	}
+	if wk > bands {
+		wk = bands
+	}
+	binW := wk
+	if len(tris) < parallelBinMin {
+		binW = 1
+	}
+	s := getBins(binW * bands)
+	if binW == 1 {
+		binTriChunk(f, tris, s, binW, bands, bandHeight, 0)
+	} else {
+		par.For(binW, binW, func(w int) {
+			binTriChunk(f, tris, s, binW, bands, bandHeight, w)
+		})
+	}
+	if wk == 1 {
+		// Serial fast path: calling par.For would heap-allocate its body
+		// closure even for one worker; this branch keeps a 1-worker
+		// re-render allocation-free.
+		for b := 0; b < bands; b++ {
+			rasterizeBand(f, tris, s, binW, bands, b, bandHeight)
+		}
+	} else {
+		par.For(bands, wk, func(b int) {
+			rasterizeBand(f, tris, s, binW, bands, b, bandHeight)
+		})
+	}
+	putBins(s)
+}
+
+// binTriChunk bins worker w's contiguous triangle chunk into its private
+// per-band lists.
+func binTriChunk(f *fb.Frame, tris []Triangle, s *binScratch, binW, bands, bandHeight, w int) {
+	lo := w * len(tris) / binW
+	hi := (w + 1) * len(tris) / binW
+	row := s.bins[w*bands : (w+1)*bands]
+	for i := lo; i < hi; i++ {
+		t := &tris[i]
 		minY := math.Min(t.V[0].Y, math.Min(t.V[1].Y, t.V[2].Y))
 		maxY := math.Max(t.V[0].Y, math.Max(t.V[1].Y, t.V[2].Y))
-		b0 := clampInt(int(minY)/bandHeight, 0, bands-1)
-		b1 := clampInt(int(maxY)/bandHeight, 0, bands-1)
 		if maxY < 0 || minY >= float64(f.H) {
 			continue
 		}
+		b0 := clampInt(int(minY)/bandHeight, 0, bands-1)
+		b1 := clampInt(int(maxY)/bandHeight, 0, bands-1)
 		for b := b0; b <= b1; b++ {
-			bins[b] = append(bins[b], int32(i))
+			//lint:ignore hotalloc bin capacity is amortized across frames by the binScratch pool
+			row[b] = append(row[b], int32(i))
 		}
 	}
-	par.For(bands, workers, func(b int) {
-		y0 := b * bandHeight
-		y1 := minInt(y0+bandHeight, f.H)
-		for _, ti := range bins[b] {
+}
+
+// rasterizeBand draws every triangle binned to band b, draining the
+// workers' lists in chunk order to preserve the serial rasterize order.
+func rasterizeBand(f *fb.Frame, tris []Triangle, s *binScratch, binW, bands, b, bandHeight int) {
+	y0 := b * bandHeight
+	y1 := minInt(y0+bandHeight, f.H)
+	for w := 0; w < binW; w++ {
+		for _, ti := range s.bins[w*bands+b] {
 			rasterizeTriangle(f, &tris[ti], y0, y1)
 		}
-	})
+	}
 }
 
 // rasterizeTriangle scan-converts t restricted to scanlines [y0, y1).
@@ -152,38 +203,80 @@ func DrawSprites(f *fb.Frame, sprites []Sprite, workers int) {
 	}
 	const bandHeight = DefaultBandHeight
 	bands := (f.H + bandHeight - 1) / bandHeight
-	bins := make([][]int32, bands)
-	for i := range sprites {
-		s := &sprites[i]
-		half := float64(maxInt(s.Size, 1)) / 2
-		if s.Y+half < 0 || s.Y-half >= float64(f.H) {
+	wk := workers
+	if wk <= 0 {
+		wk = par.DefaultWorkers()
+	}
+	if wk > bands {
+		wk = bands
+	}
+	binW := wk
+	if len(sprites) < parallelBinMin {
+		binW = 1
+	}
+	s := getBins(binW * bands)
+	if binW == 1 {
+		binSpriteChunk(f, sprites, s, binW, bands, 0)
+	} else {
+		par.For(binW, binW, func(w int) {
+			binSpriteChunk(f, sprites, s, binW, bands, w)
+		})
+	}
+	if wk == 1 {
+		for b := 0; b < bands; b++ {
+			drawSpriteBand(f, sprites, s, binW, bands, b)
+		}
+	} else {
+		par.For(bands, wk, func(b int) {
+			drawSpriteBand(f, sprites, s, binW, bands, b)
+		})
+	}
+	putBins(s)
+}
+
+// binSpriteChunk bins worker w's contiguous sprite chunk into its private
+// per-band lists.
+func binSpriteChunk(f *fb.Frame, sprites []Sprite, s *binScratch, binW, bands, w int) {
+	const bandHeight = DefaultBandHeight
+	lo := w * len(sprites) / binW
+	hi := (w + 1) * len(sprites) / binW
+	row := s.bins[w*bands : (w+1)*bands]
+	for i := lo; i < hi; i++ {
+		sp := &sprites[i]
+		half := float64(maxInt(sp.Size, 1)) / 2
+		if sp.Y+half < 0 || sp.Y-half >= float64(f.H) {
 			continue
 		}
-		b0 := clampInt(int(s.Y-half)/bandHeight, 0, bands-1)
-		b1 := clampInt(int(s.Y+half)/bandHeight, 0, bands-1)
+		b0 := clampInt(int(sp.Y-half)/bandHeight, 0, bands-1)
+		b1 := clampInt(int(sp.Y+half)/bandHeight, 0, bands-1)
 		for b := b0; b <= b1; b++ {
-			bins[b] = append(bins[b], int32(i))
+			//lint:ignore hotalloc bin capacity is amortized across frames by the binScratch pool
+			row[b] = append(row[b], int32(i))
 		}
 	}
-	par.For(bands, workers, func(b int) {
-		y0 := b * bandHeight
-		y1 := minInt(y0+bandHeight, f.H)
-		for _, si := range bins[b] {
-			s := &sprites[si]
-			size := maxInt(s.Size, 1)
-			px0 := int(s.X - float64(size)/2 + 0.5)
-			py0 := int(s.Y - float64(size)/2 + 0.5)
+}
+
+func drawSpriteBand(f *fb.Frame, sprites []Sprite, s *binScratch, binW, bands, b int) {
+	const bandHeight = DefaultBandHeight
+	y0 := b * bandHeight
+	y1 := minInt(y0+bandHeight, f.H)
+	for w := 0; w < binW; w++ {
+		for _, si := range s.bins[w*bands+b] {
+			sp := &sprites[si]
+			size := maxInt(sp.Size, 1)
+			px0 := int(sp.X - float64(size)/2 + 0.5)
+			py0 := int(sp.Y - float64(size)/2 + 0.5)
 			for dy := 0; dy < size; dy++ {
 				py := py0 + dy
 				if py < y0 || py >= y1 {
 					continue
 				}
 				for dx := 0; dx < size; dx++ {
-					f.DepthSet(px0+dx, py, s.Depth, s.Color)
+					f.DepthSet(px0+dx, py, sp.Depth, sp.Color)
 				}
 			}
 		}
-	})
+	}
 }
 
 // DrawImpostors renders shaded sphere impostors: each point becomes a
@@ -199,34 +292,76 @@ func DrawImpostors(f *fb.Frame, imps []Impostor, light vec.V3, workers int) {
 	l := light.Norm()
 	const bandHeight = DefaultBandHeight
 	bands := (f.H + bandHeight - 1) / bandHeight
-	bins := make([][]int32, bands)
-	for i := range imps {
-		s := &imps[i]
-		r := math.Max(s.Radius, 0.5)
-		if s.Y+r < 0 || s.Y-r >= float64(f.H) {
+	wk := workers
+	if wk <= 0 {
+		wk = par.DefaultWorkers()
+	}
+	if wk > bands {
+		wk = bands
+	}
+	binW := wk
+	if len(imps) < parallelBinMin {
+		binW = 1
+	}
+	s := getBins(binW * bands)
+	if binW == 1 {
+		binImpostorChunk(f, imps, s, binW, bands, 0)
+	} else {
+		par.For(binW, binW, func(w int) {
+			binImpostorChunk(f, imps, s, binW, bands, w)
+		})
+	}
+	if wk == 1 {
+		for b := 0; b < bands; b++ {
+			drawImpostorBand(f, imps, l, s, binW, bands, b)
+		}
+	} else {
+		par.For(bands, wk, func(b int) {
+			drawImpostorBand(f, imps, l, s, binW, bands, b)
+		})
+	}
+	putBins(s)
+}
+
+// binImpostorChunk bins worker w's contiguous impostor chunk into its
+// private per-band lists.
+func binImpostorChunk(f *fb.Frame, imps []Impostor, s *binScratch, binW, bands, w int) {
+	const bandHeight = DefaultBandHeight
+	lo := w * len(imps) / binW
+	hi := (w + 1) * len(imps) / binW
+	row := s.bins[w*bands : (w+1)*bands]
+	for i := lo; i < hi; i++ {
+		im := &imps[i]
+		r := math.Max(im.Radius, 0.5)
+		if im.Y+r < 0 || im.Y-r >= float64(f.H) {
 			continue
 		}
-		b0 := clampInt(int(s.Y-r)/bandHeight, 0, bands-1)
-		b1 := clampInt(int(s.Y+r)/bandHeight, 0, bands-1)
+		b0 := clampInt(int(im.Y-r)/bandHeight, 0, bands-1)
+		b1 := clampInt(int(im.Y+r)/bandHeight, 0, bands-1)
 		for b := b0; b <= b1; b++ {
-			bins[b] = append(bins[b], int32(i))
+			//lint:ignore hotalloc bin capacity is amortized across frames by the binScratch pool
+			row[b] = append(row[b], int32(i))
 		}
 	}
-	par.For(bands, workers, func(b int) {
-		y0 := b * bandHeight
-		y1 := minInt(y0+bandHeight, f.H)
-		for _, si := range bins[b] {
-			s := &imps[si]
-			r := math.Max(s.Radius, 0.5)
-			px0 := clampInt(int(s.X-r), 0, f.W-1)
-			px1 := clampInt(int(s.X+r)+1, 0, f.W-1)
-			py0 := clampInt(int(s.Y-r), y0, y1-1)
-			py1 := clampInt(int(s.Y+r)+1, y0, y1-1)
+}
+
+func drawImpostorBand(f *fb.Frame, imps []Impostor, l vec.V3, s *binScratch, binW, bands, b int) {
+	const bandHeight = DefaultBandHeight
+	y0 := b * bandHeight
+	y1 := minInt(y0+bandHeight, f.H)
+	for w := 0; w < binW; w++ {
+		for _, si := range s.bins[w*bands+b] {
+			im := &imps[si]
+			r := math.Max(im.Radius, 0.5)
+			px0 := clampInt(int(im.X-r), 0, f.W-1)
+			px1 := clampInt(int(im.X+r)+1, 0, f.W-1)
+			py0 := clampInt(int(im.Y-r), y0, y1-1)
+			py1 := clampInt(int(im.Y+r)+1, y0, y1-1)
 			invR := 1 / r
 			for py := py0; py <= py1; py++ {
-				dy := (float64(py) + 0.5 - s.Y) * invR
+				dy := (float64(py) + 0.5 - im.Y) * invR
 				for px := px0; px <= px1; px++ {
-					dx := (float64(px) + 0.5 - s.X) * invR
+					dx := (float64(px) + 0.5 - im.X) * invR
 					d2 := dx*dx + dy*dy
 					if d2 > 1 {
 						continue
@@ -241,12 +376,12 @@ func DrawImpostors(f *fb.Frame, imps []Impostor, light vec.V3, workers int) {
 					shade := 0.25 + 0.75*lambert
 					// True sphere depth: front surface bulges toward the
 					// viewer by nz * worldRadius.
-					depth := s.Depth - nz*s.WorldRadius
-					f.DepthSet(px, py, depth, s.Color.Scale(shade))
+					depth := im.Depth - nz*im.WorldRadius
+					f.DepthSet(px, py, depth, im.Color.Scale(shade))
 				}
 			}
 		}
-	})
+	}
 }
 
 func min3(a, b, c float64) float64 { return math.Min(a, math.Min(b, c)) }

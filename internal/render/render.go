@@ -185,10 +185,12 @@ func (*pointsRenderer) Render(frame *fb.Frame, ds data.Dataset, cam *camera.Came
 	}
 	t1 := time.Now()
 	drawSprites(frame, sprites)
+	n := len(sprites)
+	geom.PutSprites(sprites)
 	return Stats{
 		Algorithm:  "points",
 		Elements:   p.Count(),
-		Primitives: len(sprites),
+		Primitives: n,
 		Setup:      t1.Sub(t0),
 		Render:     time.Since(t1),
 	}, nil
@@ -217,10 +219,12 @@ func (*splatRenderer) Render(frame *fb.Frame, ds data.Dataset, cam *camera.Camer
 	}
 	t1 := time.Now()
 	drawImpostors(frame, imps)
+	n := len(imps)
+	geom.PutImpostors(imps)
 	return Stats{
 		Algorithm:  "gsplat",
 		Elements:   p.Count(),
-		Primitives: len(imps),
+		Primitives: n,
 		Setup:      t1.Sub(t0),
 		Render:     time.Since(t1),
 	}, nil
@@ -233,6 +237,7 @@ func (*splatRenderer) Render(frame *fb.Frame, ds data.Dataset, cam *camera.Camer
 type raycastSpheres struct {
 	cached   *rt.SphereBVH
 	cacheKey *data.PointCloud
+	cacheGen uint64
 	cacheRad float64
 }
 
@@ -257,9 +262,13 @@ func (r *raycastSpheres) Render(frame *fb.Frame, ds data.Dataset, cam *camera.Ca
 		radius = geom.DefaultSplatRadius(p)
 		sphereOpt.Radius = radius
 	}
-	if r.cacheKey != p || r.cacheRad != radius {
+	// The generation check catches in-place rewrites: a buffer-reusing
+	// receiver delivers every step in the same PointCloud object, so
+	// pointer identity alone would serve a stale tree.
+	if r.cacheKey != p || r.cacheGen != p.Generation() || r.cacheRad != radius {
 		r.cached = rt.BuildSphereBVH(p, radius, opt.Strategy)
 		r.cacheKey = p
+		r.cacheGen = p.Generation()
 		r.cacheRad = radius
 	}
 	t1 := time.Now()

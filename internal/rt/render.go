@@ -7,10 +7,15 @@ import (
 	"github.com/ascr-ecx/eth/internal/camera"
 	"github.com/ascr-ecx/eth/internal/data"
 	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/mempool"
 	"github.com/ascr-ecx/eth/internal/par"
 	"github.com/ascr-ecx/eth/internal/telemetry"
 	"github.com/ascr-ecx/eth/internal/vec"
 )
+
+// colorPool recycles the per-particle color table across frames, so
+// re-rendering the same (or same-sized) cloud does not reallocate it.
+var colorPool mempool.SlicePool[vec.V3]
 
 // Telemetry counters (TACC-Stats analog, §V-A): incremented in aggregate
 // per scanline band so the hot loops stay counter-free.
@@ -64,6 +69,7 @@ func RaycastSpheresWithBVH(frame *fb.Frame, p *data.PointCloud, bvh *SphereBVH, 
 	if err != nil {
 		return err
 	}
+	defer colorPool.Put(colors)
 	ambient := opt.Ambient
 	if ambient <= 0 {
 		ambient = 0.25
@@ -110,7 +116,7 @@ func defaultRadius(p *data.PointCloud) float64 {
 }
 
 func scalarColors(p *data.PointCloud, fieldName string, cmap *fb.Colormap, lo, hi float32) ([]vec.V3, error) {
-	colors := make([]vec.V3, p.Count())
+	colors := colorPool.Get(p.Count())
 	if fieldName == "" {
 		for i := range colors {
 			colors[i] = vec.New(1, 1, 1)

@@ -138,6 +138,7 @@ func stratifiedSample(p *data.PointCloud, ratio float64, seed int64) *data.Point
 		}
 		perm := rng.Perm(len(members))
 		for _, j := range perm[:keep] {
+			//lint:ignore hotalloc idx is pre-sized to the sample budget; growth is a rare rounding overflow
 			idx = append(idx, members[j])
 		}
 	}

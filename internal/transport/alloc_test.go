@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"net"
+	"testing"
+
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/raceflag"
+)
+
+// TestSendRecvSteadyStateAllocs locks in the zero-allocation steady state
+// of the uncompressed dataset path: after the first exchange warms the
+// payload buffer, codec pools, and the receiver's reused dataset, a full
+// SendDataset / Recv / ack round trip must not allocate on either side.
+// AllocsPerRun counts mallocs across all goroutines, so the receiver
+// goroutine's decode is included in the budget.
+func TestSendRecvSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; alloc counts are only meaningful without -race")
+	}
+	cloud := data.NewPointCloud(10_000)
+	for i := 0; i < cloud.Count(); i++ {
+		cloud.IDs[i] = int64(i)
+		cloud.X[i] = float32(i)
+		cloud.Y[i] = float32(i) * 0.5
+		cloud.Z[i] = float32(i) * 0.25
+	}
+	cloud.SpeedField()
+
+	cl, sr := net.Pipe()
+	send, recv := NewConn(cl), NewConn(sr)
+	defer send.Close()
+	defer recv.Close()
+	recv.SetDatasetReuse(true)
+
+	errc := make(chan error, 1)
+	go func() {
+		for {
+			typ, _, _, err := recv.Recv()
+			if err != nil {
+				errc <- err
+				return
+			}
+			if typ == MsgDone {
+				errc <- nil
+				return
+			}
+			if err := recv.SendAck(0); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	roundTrip := func() {
+		if err := send.SendDataset(cloud); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, _, err := send.Recv(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the pools: payload buffer, vtkio codecs, the receiver's reused
+	// dataset, and the ack scratch all materialize on the first trips.
+	for i := 0; i < 5; i++ {
+		roundTrip()
+	}
+	if allocs := testing.AllocsPerRun(50, roundTrip); allocs > 0 {
+		t.Errorf("steady-state round trip allocates %.1f times per op, want 0", allocs)
+	}
+
+	if err := send.SendDone(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}

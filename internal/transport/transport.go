@@ -81,6 +81,25 @@ type Conn struct {
 	Step    int
 	// compress enables DEFLATE framing for outgoing datasets.
 	compress bool
+
+	// Steady-state reuse scratch: the encode payload and compression
+	// buffers persist across SendDataset calls, the flate coder pair and
+	// limit reader persist across messages, and scratch serves header and
+	// ack frames (a local array passed through io.ReadFull escapes and
+	// allocates per call; a field on the already-heap Conn does not).
+	payload  payloadBuffer
+	zbuf     bytes.Buffer
+	zw       *flate.Writer
+	zr       io.ReadCloser
+	lr       io.LimitedReader
+	scratch  [16]byte // write side (headers, ack payloads)
+	rscratch [16]byte // read side, so one sender + one receiver goroutine stay race-free
+
+	// prev/reuse drive the decode-into path: when reuse is on, Recv hands
+	// the previous step's dataset to vtkio.ReadInto so a shape-stable
+	// stream of steps decodes with zero steady-state allocation.
+	prev  data.Dataset
+	reuse bool
 }
 
 // NewConn wraps a net.Conn in the framed protocol.
@@ -100,31 +119,51 @@ func (c *Conn) Close() error { return c.c.Close() }
 // transparently.
 func (c *Conn) SetCompression(on bool) { c.compress = on }
 
+// SetDatasetReuse toggles in-place dataset reuse on Recv. When on, each
+// received dataset recycles the arrays of the previous one (for
+// shape-stable streams this makes Recv allocation-free at steady state),
+// which means a dataset returned by Recv is INVALIDATED by the next Recv
+// call. Leave it off (the default) if received datasets must outlive the
+// next message.
+func (c *Conn) SetDatasetReuse(on bool) {
+	c.reuse = on
+	if !on {
+		c.prev = nil
+	}
+}
+
 // SendDataset streams ds as a MsgDataset (or MsgDatasetFlate) frame.
 func (c *Conn) SendDataset(ds data.Dataset) error {
 	// Encode to a buffer first to learn the length. Dataset payloads are
 	// the dominant cost; an extra copy is acceptable for framing clarity.
+	// The payload buffer (and on the compressed path the flate buffer and
+	// writer) live on the Conn, so steady-state sends reuse them in full.
 	t0 := time.Now()
-	var payload payloadBuffer
-	if err := vtkio.Write(&payload, ds); err != nil {
+	c.payload = c.payload[:0]
+	if err := vtkio.Write(&c.payload, ds); err != nil {
 		return err
 	}
 	typ := MsgDataset
-	out := []byte(payload)
+	out := []byte(c.payload)
 	if c.compress {
-		var zbuf bytes.Buffer
-		zw, err := flate.NewWriter(&zbuf, flate.BestSpeed)
-		if err != nil {
+		c.zbuf.Reset()
+		if c.zw == nil {
+			zw, err := flate.NewWriter(&c.zbuf, flate.BestSpeed)
+			if err != nil {
+				return err
+			}
+			c.zw = zw
+		} else {
+			c.zw.Reset(&c.zbuf)
+		}
+		if _, err := c.zw.Write(out); err != nil {
 			return err
 		}
-		if _, err := zw.Write(out); err != nil {
-			return err
-		}
-		if err := zw.Close(); err != nil {
+		if err := c.zw.Close(); err != nil {
 			return err
 		}
 		typ = MsgDatasetFlate
-		out = zbuf.Bytes()
+		out = c.zbuf.Bytes()
 	}
 	serDur := time.Since(t0)
 	spanSerial.Observe(serDur)
@@ -162,9 +201,8 @@ func (c *Conn) SendAck(step int64) error {
 	if err := c.writeHeader(MsgAck, 8); err != nil {
 		return err
 	}
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], uint64(step))
-	if _, err := c.bw.Write(buf[:]); err != nil {
+	binary.BigEndian.PutUint64(c.scratch[:8], uint64(step))
+	if _, err := c.bw.Write(c.scratch[:8]); err != nil {
 		return err
 	}
 	return c.bw.Flush()
@@ -179,25 +217,23 @@ func (c *Conn) SendDone() error {
 }
 
 func (c *Conn) writeHeader(t MsgType, n int64) error {
-	var hdr [9]byte
-	hdr[0] = byte(t)
-	binary.BigEndian.PutUint64(hdr[1:], uint64(n))
-	_, err := c.bw.Write(hdr[:])
+	c.scratch[0] = byte(t)
+	binary.BigEndian.PutUint64(c.scratch[1:9], uint64(n))
+	_, err := c.bw.Write(c.scratch[:9])
 	return err
 }
 
 // Recv reads the next frame. For MsgDataset the decoded dataset is
 // returned; for MsgAck the step counter is in step; MsgDone has neither.
 func (c *Conn) Recv() (t MsgType, ds data.Dataset, step int64, err error) {
-	var hdr [9]byte
-	if _, err = io.ReadFull(c.br, hdr[:]); err != nil {
+	if _, err = io.ReadFull(c.br, c.rscratch[:9]); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return 0, nil, 0, ErrClosed
 		}
 		return 0, nil, 0, err
 	}
-	t = MsgType(hdr[0])
-	n := int64(binary.BigEndian.Uint64(hdr[1:]))
+	t = MsgType(c.rscratch[0])
+	n := int64(binary.BigEndian.Uint64(c.rscratch[1:9]))
 	if n < 0 || n > maxFrame {
 		return 0, nil, 0, fmt.Errorf("transport: implausible frame length %d", n)
 	}
@@ -207,19 +243,28 @@ func (c *Conn) Recv() (t MsgType, ds data.Dataset, step int64, err error) {
 		// peer producing data, so including it would charge think-time to
 		// the transport phase.
 		t0 := time.Now()
-		lr := io.LimitReader(c.br, n)
+		c.lr.R, c.lr.N = c.br, n
+		lr := &c.lr
 		var payload io.Reader = lr
-		var zr io.ReadCloser
 		if t == MsgDatasetFlate {
-			zr = flate.NewReader(lr)
-			payload = zr
+			if c.zr == nil {
+				c.zr = flate.NewReader(lr)
+			} else if err := c.zr.(flate.Resetter).Reset(lr, nil); err != nil {
+				return 0, nil, 0, err
+			}
+			payload = c.zr
 		}
-		ds, err = vtkio.Read(payload)
+		prev := c.prev
+		c.prev = nil // never reuse through a failed decode
+		ds, err = vtkio.ReadInto(payload, prev)
 		if err != nil {
 			return 0, nil, 0, fmt.Errorf("transport: decoding dataset: %w", err)
 		}
-		if zr != nil {
-			if cerr := zr.Close(); cerr != nil {
+		if c.reuse {
+			c.prev = ds
+		}
+		if t == MsgDatasetFlate {
+			if cerr := c.zr.Close(); cerr != nil {
 				return 0, nil, 0, cerr
 			}
 		}
@@ -241,18 +286,17 @@ func (c *Conn) Recv() (t MsgType, ds data.Dataset, step int64, err error) {
 		if n != 8 {
 			return 0, nil, 0, fmt.Errorf("transport: ack frame length %d", n)
 		}
-		var buf [8]byte
-		if _, err = io.ReadFull(c.br, buf[:]); err != nil {
+		if _, err = io.ReadFull(c.br, c.rscratch[:8]); err != nil {
 			return 0, nil, 0, err
 		}
-		return t, nil, int64(binary.BigEndian.Uint64(buf[:])), nil
+		return t, nil, int64(binary.BigEndian.Uint64(c.rscratch[:8])), nil
 	case MsgDone:
 		if n != 0 {
 			return 0, nil, 0, fmt.Errorf("transport: done frame length %d", n)
 		}
 		return t, nil, 0, nil
 	default:
-		return 0, nil, 0, fmt.Errorf("transport: unknown message type %d", hdr[0])
+		return 0, nil, 0, fmt.Errorf("transport: unknown message type %d", c.rscratch[0])
 	}
 }
 

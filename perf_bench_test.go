@@ -1,0 +1,157 @@
+// Perf-trajectory benchmarks: the three benchmarks scripts/bench.sh
+// records into BENCH_PR*.json so successive PRs can compare ns/op and
+// allocs/op on the per-frame / per-step hot paths — triangle
+// rasterization, a 16-rank composite, and a full transport round trip
+// over a loopback pipe. All three report allocations; the steady-state
+// targets are asserted exactly by the AllocsPerRun tests next to each
+// package.
+package eth_test
+
+import (
+	"net"
+	"testing"
+
+	"github.com/ascr-ecx/eth/internal/camera"
+	"github.com/ascr-ecx/eth/internal/compositing"
+	"github.com/ascr-ecx/eth/internal/domain"
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/geom"
+	"github.com/ascr-ecx/eth/internal/raster"
+	"github.com/ascr-ecx/eth/internal/render"
+	"github.com/ascr-ecx/eth/internal/transport"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// benchTriangles projects the blast isosurface into screen space once so
+// the benchmark times rasterization only.
+func benchTriangles(b *testing.B) []raster.Triangle {
+	b.Helper()
+	mesh, err := geom.Isosurface(benchGrid, "temperature", 0.45)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cam := camera.ForBounds(benchGrid.Bounds())
+	tris := make([]raster.Triangle, 0, mesh.TriangleCount())
+	for ti := 0; ti < mesh.TriangleCount(); ti++ {
+		var out raster.Triangle
+		visible := true
+		for c := 0; c < 3; c++ {
+			p := mesh.Verts[mesh.Tris[ti][c]]
+			x, y, depth, ok := cam.Project(p, benchImage, benchImage)
+			if !ok {
+				visible = false
+				break
+			}
+			out.V[c] = raster.Vertex{X: x, Y: y, Depth: depth, Color: vec.New(1, 0.5, 0.2)}
+		}
+		if visible {
+			tris = append(tris, out)
+		}
+	}
+	return tris
+}
+
+// BenchmarkTriangles times a steady-state triangle re-render into an
+// existing frame: the per-image cost of the VTK-style geometry pipeline
+// after extraction.
+func BenchmarkTriangles(b *testing.B) {
+	tris := benchTriangles(b)
+	frame := fb.New(benchImage, benchImage)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frame.Clear(vec.V3{})
+		raster.DrawTriangles(frame, tris, 0)
+	}
+}
+
+// BenchmarkComposite16 times a 16-rank depth composite of real partial
+// renders, for both schedules.
+func BenchmarkComposite16(b *testing.B) {
+	dec, err := domain.Decompose(benchCloud, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cam := camera.ForBounds(benchCloud.Bounds())
+	frames := make([]*fb.Frame, dec.Ranks())
+	for i, piece := range dec.Pieces {
+		r, err := render.New("points")
+		if err != nil {
+			b.Fatal(err)
+		}
+		frames[i] = fb.New(benchImage, benchImage)
+		if _, err := r.Render(frames[i], piece, &cam, render.Options{ColorField: "speed"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, alg := range []compositing.Algorithm{compositing.DirectSend, compositing.BinarySwap} {
+		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := compositing.Composite(frames, alg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTransportRoundTrip times one full in-situ interface exchange —
+// SendDataset, peer Recv, ack — over an in-memory pipe, so the numbers
+// isolate serialization and framing from TCP.
+func BenchmarkTransportRoundTrip(b *testing.B) {
+	step := benchCloud.Slice(0, 50_000)
+	for _, compress := range []bool{false, true} {
+		name := "raw"
+		if compress {
+			name = "flate"
+		}
+		b.Run(name, func(b *testing.B) {
+			cl, sr := net.Pipe()
+			send, recv := transport.NewConn(cl), transport.NewConn(sr)
+			defer send.Close()
+			defer recv.Close()
+			send.SetCompression(compress)
+			recv.SetDatasetReuse(true)
+			errc := make(chan error, 1)
+			go func() {
+				for {
+					typ, ds, _, err := recv.Recv()
+					if err != nil {
+						errc <- err
+						return
+					}
+					if typ == transport.MsgDone {
+						errc <- nil
+						return
+					}
+					if ds == nil || ds.Count() == 0 {
+						errc <- err
+						return
+					}
+					if err := recv.SendAck(0); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := send.SendDataset(step); err != nil {
+					b.Fatal(err)
+				}
+				if _, _, _, err := send.Recv(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if err := send.SendDone(); err != nil {
+				b.Fatal(err)
+			}
+			if err := <-errc; err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,64 @@
+#!/usr/bin/env sh
+# Run the perf-trajectory benchmarks and emit a machine-readable record.
+#
+# Usage:
+#   scripts/bench.sh [out.json]
+#
+# Runs the root-package benchmarks (BenchmarkTriangles, BenchmarkComposite16,
+# BenchmarkTransportRoundTrip, ...) with -benchmem and converts the standard
+# `go test -bench` output into JSON:
+#
+#   {
+#     "goos": "linux", "goarch": "amd64", "cpu": "...",
+#     "benchmarks": [
+#       {"name": "BenchmarkTriangles", "iterations": N,
+#        "ns_per_op": ..., "bytes_per_op": ..., "allocs_per_op": ...},
+#       ...
+#     ]
+#   }
+#
+# Successive PRs snapshot this as BENCH_PR<n>.json so the allocation gate
+# has a committed before/after trail (see the Performance section in
+# README.md). The script uses only the Go toolchain and awk.
+set -eu
+
+out="${1:-bench.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench=. -benchmem -benchtime=1s -count=1 -run='^$' . | tee "$raw" >&2
+
+awk '
+BEGIN { n = 0 }
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: /, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
+    iters = $2
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 3; i <= NF; i++) {
+        if ($(i) == "ns/op") ns = $(i - 1)
+        if ($(i) == "B/op") bytes = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    if (ns == "") next
+    n++
+    names[n] = name; its[n] = iters; nss[n] = ns; bs[n] = bytes; as[n] = allocs
+}
+END {
+    printf "{\n"
+    printf "  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n", goos, goarch, cpu
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", names[i], its[i], nss[i]
+        if (bs[i] != "") printf ", \"bytes_per_op\": %s", bs[i]
+        if (as[i] != "") printf ", \"allocs_per_op\": %s", as[i]
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ]\n}\n"
+}
+' "$raw" > "$out"
+
+echo "wrote $out" >&2

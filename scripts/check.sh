@@ -19,4 +19,10 @@ go test -race ./...
 echo "== go test -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio"
 go test -run='^$' -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio/
 
+# Benchmark smoke: one iteration of every benchmark with -benchmem, so a
+# benchmark that panics or regresses into a compile error fails the gate
+# (allocation budgets themselves are asserted by the AllocsPerRun tests).
+echo "== go test -bench=. -benchtime=1x -benchmem -run='^\$' ."
+go test -bench=. -benchtime=1x -benchmem -run='^$' .
+
 echo "ok"
