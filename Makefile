@@ -12,9 +12,11 @@ test:
 lint:
 	go run ./cmd/ethlint ./...
 
-# Short fuzz pass over the dataset container reader.
+# Short fuzz passes over the dataset container reader and the framed
+# wire format (checksummed dataset frames must detect any byte flip).
 fuzz:
 	go test -run='^$$' -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio/
+	go test -run='^$$' -fuzz=FuzzFrameFlip -fuzztime=10s ./internal/transport/
 
 # Full gate: vet + build + ethlint + race-enabled tests + short fuzz pass.
 check:

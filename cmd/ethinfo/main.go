@@ -110,7 +110,8 @@ func auditJournal(path string) error {
 		journal.TypeRunStart, journal.TypeRunEnd, journal.TypePhase,
 		journal.TypeDataset, journal.TypeSample, journal.TypeSerialize,
 		journal.TypeTransfer, journal.TypeRender, journal.TypeAnalysis,
-		journal.TypeComposite, journal.TypeError,
+		journal.TypeComposite, journal.TypeRetry, journal.TypeSkip,
+		journal.TypeResume, journal.TypeError,
 	} {
 		if counts[ty] > 0 {
 			ct.AddRow(ty, counts[ty])

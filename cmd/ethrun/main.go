@@ -22,10 +22,12 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"github.com/ascr-ecx/eth/internal/cluster"
 	"github.com/ascr-ecx/eth/internal/core"
 	"github.com/ascr-ecx/eth/internal/coupling"
+	"github.com/ascr-ecx/eth/internal/faults"
 	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/layout"
 	"github.com/ascr-ecx/eth/internal/render"
@@ -60,6 +62,13 @@ func main() {
 	method := flag.String("method", "random", "measured: sampling method (random, stride, stratified)")
 	out := flag.String("out", "", "measured: directory for PNG artifacts")
 
+	// Robustness flags (socket mode): fault replay + degradation policy.
+	faultsFile := flag.String("faults", "", "measured: replay a fault schedule file over the socket transport")
+	faultSeed := flag.Int64("faultseed", 1, "measured: seed for fault schedule + backoff jitter")
+	retries := flag.Int("retries", 0, "measured: reconnect+resume attempts per stuck step")
+	skips := flag.Int("skips", 0, "measured: steps that may be skipped after retries exhaust")
+	ioTimeout := flag.Duration("iotimeout", 0, "measured: per-operation socket deadline (0 = none)")
+
 	// Job-layout file (paper §VII).
 	specFile := flag.String("spec", "", "run a JSON job-layout file instead of flag configuration")
 
@@ -88,6 +97,8 @@ func main() {
 			width: *width, height: *height, images: *imagesM,
 			mode: *mode, ratio: *ratio, method: *method, out: *out,
 			trace: *trace,
+			faultsFile: *faultsFile, faultSeed: *faultSeed,
+			retries: *retries, skips: *skips, ioTimeout: *ioTimeout,
 		})
 	}
 	stopProfiles()
@@ -192,6 +203,37 @@ type measuredArgs struct {
 	ratio                  float64
 	method, out            string
 	trace                  string
+	faultsFile             string
+	faultSeed              int64
+	retries, skips         int
+	ioTimeout              time.Duration
+}
+
+// buildPolicy assembles the socket-mode degradation policy from the
+// robustness flags, loading and parsing the fault schedule if one was
+// requested.
+func buildPolicy(a measuredArgs) coupling.Policy {
+	pol := coupling.Policy{
+		MaxRetries: a.retries,
+		MaxSkips:   a.skips,
+		IOTimeout:  a.ioTimeout,
+		Seed:       a.faultSeed,
+	}
+	if a.faultsFile != "" {
+		if a.mode != "socket" {
+			log.Fatal("-faults requires -mode socket (faults are injected into the transport layer)")
+		}
+		text, err := os.ReadFile(a.faultsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sched, err := faults.Parse(string(text), a.faultSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pol.Faults = sched
+	}
+	return pol
 }
 
 func runMeasured(a measuredArgs) {
@@ -253,6 +295,7 @@ func runMeasured(a measuredArgs) {
 		SamplingMethod: sm,
 		OutDir:         a.out,
 		Journal:        jw,
+		Policy:         buildPolicy(a),
 	})
 	if err != nil {
 		log.Fatal(err)

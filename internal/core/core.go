@@ -133,6 +133,9 @@ type MeasuredSpec struct {
 	// run still records into a private in-memory journal so the result
 	// carries a per-phase breakdown either way.
 	Journal *journal.Writer
+	// Policy is the socket-mode degradation policy (retry/skip budgets,
+	// deadlines, optional fault injection). Zero = fail on first error.
+	Policy coupling.Policy
 }
 
 // Validate reports errors.
@@ -283,7 +286,7 @@ func RunMeasured(spec MeasuredSpec) (MeasuredResult, error) {
 		pairs[r] = coupling.PairSpec{Sim: sim, Viz: viz}
 	}
 
-	reports, err := coupling.RunPairs(pairs, spec.Mode, spec.LayoutPath, jw)
+	reports, err := coupling.RunPairsPolicy(pairs, spec.Mode, spec.LayoutPath, spec.Policy, jw)
 	if err != nil {
 		return MeasuredResult{}, err
 	}

@@ -9,14 +9,25 @@
 package coupling
 
 import (
+	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"time"
 
+	"github.com/ascr-ecx/eth/internal/faults"
 	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/proxy"
 	"github.com/ascr-ecx/eth/internal/telemetry"
 	"github.com/ascr-ecx/eth/internal/transport"
+)
+
+// Coupling resilience telemetry: reconnect/retry/skip counts across all
+// socket-mode pairs.
+var (
+	ctrRetries    = telemetry.Default.Counter("coupling.retries")
+	ctrSkips      = telemetry.Default.Counter("coupling.steps_skipped")
+	ctrReconnects = telemetry.Default.Counter("coupling.reconnects")
 )
 
 // Mode selects how a proxy pair executes.
@@ -49,6 +60,10 @@ type Report struct {
 	BytesMoved int64
 	// Steps is the number of time steps processed.
 	Steps int
+	// Retries counts reconnect+resume cycles the degradation policy ran.
+	Retries int
+	// Skipped counts steps abandoned under the skip policy.
+	Skipped int
 	// Viz exposes the visualization proxy (per-step results, frames).
 	Viz *proxy.VizProxy
 }
@@ -89,12 +104,78 @@ func RunUnified(sim *proxy.SimProxy, viz *proxy.VizProxy) (Report, error) {
 	}, nil
 }
 
+// Policy is the degradation policy for socket-mode pairs: how hard to
+// fight a failing connection before giving up. The zero value fails on
+// the first error with no timeouts — the historical behavior.
+type Policy struct {
+	// MaxRetries is how many consecutive reconnect+resume cycles may be
+	// spent on the same stuck step before escalating. Progress (a newly
+	// acknowledged step) resets the count.
+	MaxRetries int
+	// MaxSkips is how many stuck steps may be abandoned (with a journal
+	// skip event) after retries exhaust. 0 means never skip: exhausting
+	// retries fails the pair.
+	MaxSkips int
+	// IOTimeout arms per-operation read/write deadlines on both ends so a
+	// stalled peer surfaces as transport.ErrTimeout instead of a hang.
+	IOTimeout time.Duration
+	// MaxFrame bounds accepted frame sizes (0 = transport.DefaultMaxFrame).
+	MaxFrame int64
+	// Backoff is the reconnect dial policy; a zero Attempts count selects
+	// transport.DefaultBackoff(Seed).
+	Backoff transport.Backoff
+	// Seed feeds backoff jitter (and documentation of the run's fault
+	// seed); reproducible runs share seeds.
+	Seed int64
+	// Faults, when non-nil, injects the schedule's faults into every
+	// connection and dial attempt of this pair.
+	Faults *faults.Schedule
+}
+
+// classify maps a failure to the deterministic cause token recorded in
+// retry/skip journal events. Checksum wins over timeout wins over an
+// injected fault wins over a frame-bound violation; anything else is a
+// generic connection failure. The priority makes the token stable when
+// one fault produces several symptoms.
+func classify(errs ...error) string {
+	for _, c := range []struct {
+		sentinel error
+		name     string
+	}{
+		{transport.ErrChecksum, "checksum"},
+		{transport.ErrTimeout, "timeout"},
+		{faults.ErrInjected, "injected"},
+		{transport.ErrFrameTooLarge, "frame"},
+	} {
+		for _, err := range errs {
+			if errors.Is(err, c.sentinel) {
+				return c.name
+			}
+		}
+	}
+	return "conn"
+}
+
+// deadliner is the subset of net.TCPListener needed to bound Accept.
+type deadliner interface {
+	SetDeadline(time.Time) error
+}
+
 // RunSocketPair executes the pair over a real TCP loopback connection
-// using the layout-file rendezvous: the simulation side is started
-// first and registers, then the visualization side connects — exactly
-// the §III-C startup sequence, in one process for testability. The
-// payload crosses the full serialize/socket/deserialize path.
+// using the layout-file rendezvous (§III-C), in one process for
+// testability, with the zero degradation policy: any failure fails the
+// pair. The payload crosses the full serialize/socket/deserialize path.
 func RunSocketPair(sim *proxy.SimProxy, viz *proxy.VizProxy, layoutPath string, rank int) (Report, error) {
+	return RunSocketPairPolicy(sim, viz, layoutPath, rank, Policy{}, nil)
+}
+
+// RunSocketPairPolicy is RunSocketPair under a degradation policy: on a
+// transport failure it reconnects through the layout file with backoff
+// and resumes at the first unacknowledged step (up to MaxRetries times
+// per step), then abandons the stuck step (up to MaxSkips times), then
+// fails. Every decision is journaled: a retry event per reconnect, a
+// skip event per abandoned step, with a classified cause. jw may be nil.
+func RunSocketPairPolicy(sim *proxy.SimProxy, viz *proxy.VizProxy, layoutPath string, rank int, pol Policy, jw *journal.Writer) (Report, error) {
 	if err := viz.EnsureOutDir(); err != nil {
 		return Report{}, err
 	}
@@ -107,43 +188,115 @@ func RunSocketPair(sim *proxy.SimProxy, viz *proxy.VizProxy, layoutPath string, 
 		return Report{}, err
 	}
 	defer ln.Close()
+	viz.SetAllowGaps(pol.MaxSkips > 0)
 
-	type simOut struct {
-		bytes int64
-		err   error
+	bo := pol.Backoff
+	if bo.Attempts <= 0 {
+		bo = transport.DefaultBackoff(pol.Seed)
 	}
-	simc := make(chan simOut, 1)
-	go func() {
-		c, err := ln.Accept()
+	baseDial := bo.Dial
+	if baseDial == nil {
+		baseDial = net.DialTimeout
+	}
+	bo.Dial = pol.Faults.Dialer(baseDial)
+
+	rep := Report{Viz: viz}
+	resume := 0          // first step not yet acknowledged
+	retries := 0         // consecutive failures at the current resume step
+	stuck := -1          // resume step the retry count refers to
+	var bytesDone int64  // payload bytes from finished connections
+	for {
+		// Dial first: the listener's backlog holds the connection until the
+		// accept below, so a failed dial leaks nothing.
+		vconn, err := transport.DialBackoff(layoutPath, rank, bo)
+		var sconn *transport.Conn
+		var vizErr, simErr error
+		var next int
 		if err != nil {
-			simc <- simOut{0, err}
-			return
-		}
-		conn := transport.NewConn(c)
-		defer conn.Close()
-		n, err := sim.Serve(conn)
-		simc <- simOut{n, err}
-	}()
+			vizErr = err
+			next = resume
+		} else {
+			if d, ok := ln.(deadliner); ok {
+				d.SetDeadline(time.Now().Add(10 * time.Second))
+			}
+			raw, aerr := ln.Accept()
+			if aerr != nil {
+				vconn.Close()
+				return rep, fmt.Errorf("coupling: accepting pair %d: %w", rank, aerr)
+			}
+			sconn = transport.NewConn(pol.Faults.WrapAccepted(raw))
+			sconn.SetTimeouts(pol.IOTimeout, pol.IOTimeout)
+			sconn.SetMaxFrame(pol.MaxFrame)
+			vconn.SetTimeouts(pol.IOTimeout, pol.IOTimeout)
+			vconn.SetMaxFrame(pol.MaxFrame)
+			ctrReconnects.Inc()
 
-	conn, err := transport.Dial(layoutPath, rank, 10*time.Second)
-	if err != nil {
-		return Report{}, err
+			type simOut struct {
+				next  int
+				bytes int64
+				err   error
+			}
+			simc := make(chan simOut, 1)
+			go func() {
+				// Closing on exit (success or failure) unblocks a viz side
+				// mid-Recv; on the success path all frames are already
+				// flushed, so the orderly TCP shutdown delivers them first.
+				defer sconn.Close()
+				n, b, serr := sim.ServeFrom(sconn, resume)
+				simc <- simOut{n, b, serr}
+			}()
+			vizErr = viz.Receive(vconn)
+			vconn.Close() // unblocks the sim side if it is mid-Recv
+			res := <-simc
+			simErr, next = res.err, res.next
+			bytesDone += res.bytes
+			if vizErr == nil && simErr == nil {
+				rep.Wall = time.Since(t0)
+				rep.BytesMoved = bytesDone
+				rep.Steps = sim.Steps()
+				return rep, nil
+			}
+		}
+
+		cause := classify(vizErr, simErr)
+		firstErr := vizErr
+		if firstErr == nil {
+			firstErr = simErr
+		}
+		if next > resume || next != stuck {
+			retries = 0 // progress since the last failure: fresh budget
+		}
+		resume, stuck = next, next
+		retries++
+		if retries > pol.MaxRetries {
+			// Retries exhausted on this step: skip it if the policy still
+			// allows (and there is a step to skip), otherwise fail the pair.
+			if pol.MaxSkips > rep.Skipped && resume < sim.Steps() {
+				rep.Skipped++
+				ctrSkips.Inc()
+				jw.Emit(journal.Event{
+					Type: journal.TypeSkip, Rank: rank, Step: resume,
+					Detail: fmt.Sprintf("cause=%s retries=%d skipped=%d/%d",
+						cause, retries-1, rep.Skipped, pol.MaxSkips),
+				})
+				resume++
+				stuck, retries = resume, 0
+				continue
+			}
+			jw.Error(rank, resume, firstErr)
+			rep.Wall = time.Since(t0)
+			rep.BytesMoved = bytesDone
+			return rep, fmt.Errorf("coupling: pair %d gave up at step %d after %d retries (cause=%s): %w",
+				rank, resume, retries-1, cause, firstErr)
+		}
+		rep.Retries++
+		ctrRetries.Inc()
+		jw.Emit(journal.Event{
+			Type: journal.TypeRetry, Rank: rank, Step: resume,
+			Detail: fmt.Sprintf("cause=%s attempt=%d/%d resume=%d",
+				cause, retries, pol.MaxRetries, resume),
+		})
 	}
-	defer conn.Close()
-	vizErr := viz.Receive(conn)
-	simRes := <-simc
-	if vizErr != nil {
-		return Report{}, vizErr
-	}
-	if simRes.err != nil {
-		return Report{}, simRes.err
-	}
-	return Report{
-		Wall:       time.Since(t0),
-		BytesMoved: simRes.bytes,
-		Steps:      sim.Steps(),
-		Viz:        viz,
-	}, nil
 }
 
 // PairSpec describes one proxy pair for a multi-pair run.
@@ -160,6 +313,15 @@ type PairSpec struct {
 // generate/sample/transfer/render events come from the proxies
 // themselves, which carry their own journal references.
 func RunPairs(pairs []PairSpec, mode Mode, layoutPath string, jw *journal.Writer) ([]Report, error) {
+	return RunPairsPolicy(pairs, mode, layoutPath, Policy{}, jw)
+}
+
+// RunPairsPolicy is RunPairs with a degradation policy applied to every
+// socket-mode pair. The fault schedule (if any) is cloned per rank with
+// a rank-offset seed, so each pair sees independent operation counters
+// and its own deterministic fault stream — one flaky pair degrades under
+// its own budget without poisoning the sweep.
+func RunPairsPolicy(pairs []PairSpec, mode Mode, layoutPath string, pol Policy, jw *journal.Writer) ([]Report, error) {
 	if len(pairs) == 0 {
 		return nil, fmt.Errorf("coupling: no pairs")
 	}
@@ -180,7 +342,10 @@ func RunPairs(pairs []PairSpec, mode Mode, layoutPath string, jw *journal.Writer
 			})
 			switch mode {
 			case Socket:
-				reports[i], errs[i] = RunSocketPair(p.Sim, p.Viz, layoutPath, i)
+				rankPol := pol
+				rankPol.Seed = pol.Seed + int64(i)
+				rankPol.Faults = pol.Faults.Clone(rankPol.Seed)
+				reports[i], errs[i] = RunSocketPairPolicy(p.Sim, p.Viz, layoutPath, i, rankPol, jw)
 			default:
 				reports[i], errs[i] = RunUnified(p.Sim, p.Viz)
 			}

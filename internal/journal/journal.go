@@ -47,6 +47,14 @@ const (
 	TypeComposite = "composite"
 	// TypeError records a failure; Err carries the message.
 	TypeError = "error"
+	// TypeRetry records a recoverable transport failure being retried
+	// (reconnect + resume); Detail carries the classified cause.
+	TypeRetry = "retry"
+	// TypeSkip records a step abandoned under the degradation policy.
+	TypeSkip = "skip"
+	// TypeResume records a connection resuming at a step after reconnect,
+	// including a duplicate re-sent step being re-acked without rendering.
+	TypeResume = "resume"
 )
 
 // Phase names used by timed events. Breakdown sums event durations by

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// JournalEnd enforces journal-event completeness: a function that emits a
+// phase-start event (an Event whose Type, or leading Detail token, ends
+// in "_start") must emit the matching "_end" event somewhere in the same
+// function — including inside deferred closures, the idiomatic place for
+// it. A start without an end produces journals where phases never close,
+// which breaks duration accounting (journal.Breakdown) and any replay
+// tooling that pairs the two; the bug is invisible at runtime because
+// Emit happily records half a story. Functions that intentionally split
+// a phase across call boundaries should carry
+// //lint:ignore journalend <reason>.
+var JournalEnd = &Analyzer{
+	Name: "journalend",
+	Doc:  "journal phase-start events must have a matching end event in the same function",
+	Run:  runJournalEnd,
+}
+
+func runJournalEnd(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					journalEndScope(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				journalEndScope(pass, fn.Body)
+			}
+			return true
+		})
+	}
+}
+
+// journalEndScope checks one function body. Starts are collected from the
+// body itself (a nested function literal is its own pairing domain, and
+// is visited separately by the outer Inspect); ends are accepted from
+// anywhere inside the body including nested literals, because the
+// matching end commonly lives in a deferred closure.
+func journalEndScope(pass *Pass, body *ast.BlockStmt) {
+	type startEvent struct {
+		token string
+		pos   ast.Node
+	}
+	var starts []startEvent
+	walkScope(body, func(n ast.Node, stack []ast.Node) {
+		if tok, ok := journalEventToken(pass, n); ok && strings.HasSuffix(tok, "_start") {
+			starts = append(starts, startEvent{token: tok, pos: n})
+		}
+	})
+	if len(starts) == 0 {
+		return
+	}
+	ends := map[string]bool{}
+	walkStack(body, func(n ast.Node, stack []ast.Node) bool {
+		if tok, ok := journalEventToken(pass, n); ok && strings.HasSuffix(tok, "_end") {
+			ends[strings.TrimSuffix(tok, "_end")] = true
+		}
+		return true
+	})
+	for _, s := range starts {
+		base := strings.TrimSuffix(s.token, "_start")
+		if !ends[base] {
+			pass.Reportf(s.pos.Pos(),
+				"journal event %q has no matching %q emitted in this function", s.token, base+"_end")
+		}
+	}
+}
+
+// journalEventToken extracts the phase token of a journal emission: n
+// must be a call to a method named Emit on a receiver of a type named
+// Writer, with an Event composite literal argument. The token is the
+// Event's constant Type string when it carries a _start/_end suffix,
+// otherwise the first word of a constant (or constant-format Sprintf)
+// Detail string — the "pair_start mode=…" convention used with
+// TypePhase events.
+func journalEventToken(pass *Pass, n ast.Node) (string, bool) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Emit" {
+		return "", false
+	}
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || !isNamedType(tv.Type, "Writer") {
+		return "", false
+	}
+	lit := compositeLit(call.Args[0])
+	if lit == nil {
+		return "", false
+	}
+	tvLit, ok := pass.Info.Types[lit]
+	if !ok || !isNamedType(tvLit.Type, "Event") {
+		return "", false
+	}
+	var typeTok, detailTok string
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch key.Name {
+		case "Type":
+			if s, ok := stringLiteral(pass, kv.Value); ok {
+				typeTok = s
+			}
+		case "Detail":
+			if s, ok := detailString(pass, kv.Value); ok {
+				detailTok, _, _ = strings.Cut(s, " ")
+			}
+		}
+	}
+	if strings.HasSuffix(typeTok, "_start") || strings.HasSuffix(typeTok, "_end") {
+		return typeTok, true
+	}
+	if strings.HasSuffix(detailTok, "_start") || strings.HasSuffix(detailTok, "_end") {
+		return detailTok, true
+	}
+	return "", false
+}
+
+// compositeLit unwraps expr to a composite literal, looking through a
+// leading & operator.
+func compositeLit(expr ast.Expr) *ast.CompositeLit {
+	if u, ok := expr.(*ast.UnaryExpr); ok {
+		expr = u.X
+	}
+	lit, _ := expr.(*ast.CompositeLit)
+	return lit
+}
+
+// detailString resolves a Detail value to a string prefix worth
+// tokenizing: a constant string, or the constant format string of an
+// fmt.Sprintf call (whose verbs can only appear after the first token of
+// the conventions this analyzer matches).
+func detailString(pass *Pass, expr ast.Expr) (string, bool) {
+	if s, ok := stringLiteral(pass, expr); ok {
+		return s, true
+	}
+	call, ok := expr.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.FullName() != "fmt.Sprintf" {
+		return "", false
+	}
+	return stringLiteral(pass, call.Args[0])
+}
+
+// isNamedType reports whether t (or its pointee) is a named type with the
+// given name, matching by shape so fixtures and any journal-like package
+// are covered.
+func isNamedType(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}

@@ -1,0 +1,94 @@
+package lint
+
+import "testing"
+
+const journalEndFixture = `package fixture
+
+import "fmt"
+
+type Event struct {
+	Type, Phase, Detail string
+	Rank, Step          int
+}
+
+type Writer struct{ events []Event }
+
+func (w *Writer) Emit(e Event) { w.events = append(w.events, e) }
+
+const (
+	TypeRunStart = "run_start"
+	TypeRunEnd   = "run_end"
+	TypePhase    = "phase"
+)
+
+// A start via the Type constant with no end anywhere: flagged.
+func startNoEnd(jw *Writer) {
+	jw.Emit(Event{Type: TypeRunStart}) // want "no matching .run_end."
+}
+
+// Start and end in the same body: clean.
+func startWithEnd(jw *Writer) {
+	jw.Emit(Event{Type: TypeRunStart})
+	jw.Emit(Event{Type: TypeRunEnd})
+}
+
+// The end lives in a deferred closure — the idiomatic shape: clean.
+func endInDefer(jw *Writer) {
+	jw.Emit(Event{Type: TypeRunStart})
+	defer func() {
+		jw.Emit(Event{Type: TypeRunEnd})
+	}()
+}
+
+// Phase events pair through the leading Detail token; a Sprintf with a
+// constant format counts. pair_start has no pair_end here: flagged.
+func detailStartNoEnd(jw *Writer, mode string) {
+	jw.Emit(Event{Type: TypePhase, Detail: fmt.Sprintf("pair_start mode=%s", mode)}) // want "no matching .pair_end."
+}
+
+// The same shape with both halves: clean.
+func detailStartWithEnd(jw *Writer, mode string) {
+	jw.Emit(Event{Type: TypePhase, Detail: fmt.Sprintf("pair_start mode=%s", mode)})
+	jw.Emit(Event{Type: TypePhase, Detail: fmt.Sprintf("pair_end mode=%s", mode)})
+}
+
+// A mismatched end does not satisfy a different start: flagged.
+func wrongEnd(jw *Writer) {
+	jw.Emit(Event{Type: TypePhase, Detail: "sweep_start"}) // want "no matching .sweep_end."
+	jw.Emit(Event{Type: TypePhase, Detail: "pair_end"})
+}
+
+// A function literal is its own pairing domain: the start inside the
+// closure is not satisfied by an end in the enclosing function.
+func closureScopes(jw *Writer) {
+	fn := func() {
+		jw.Emit(Event{Type: TypePhase, Detail: "inner_start"}) // want "no matching .inner_end."
+	}
+	fn()
+	jw.Emit(Event{Type: TypePhase, Detail: "inner_end"})
+}
+
+// Non-start events, dynamic details, and non-journal Emits are ignored.
+type Other struct{}
+
+func (Other) Emit(e Event) {}
+
+func neutral(jw *Writer, o Other, d string) {
+	jw.Emit(Event{Type: TypePhase, Detail: d})
+	jw.Emit(Event{Type: "transfer", Detail: "send"})
+	o.Emit(Event{Type: TypeRunStart}) // not a Writer: ignored
+}
+
+// An ignore directive with a reason suppresses the finding.
+func split(jw *Writer) {
+	//lint:ignore journalend the end is emitted by the caller's defer
+	jw.Emit(Event{Type: TypeRunStart})
+}
+`
+
+func TestJournalEndFixture(t *testing.T) {
+	res := runFixture(t, JournalEnd, "fixture/journalend", journalEndFixture)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	}
+}

@@ -225,29 +225,43 @@ func applySampling(ds data.Dataset, ratio float64, method sampling.Method, seed 
 // visualization proxy's ack, then signal completion. It returns the
 // total payload bytes sent.
 func (s *SimProxy) Serve(conn *transport.Conn) (int64, error) {
+	_, n, err := s.ServeFrom(conn, 0)
+	return n, err
+}
+
+// ServeFrom is Serve starting at step from — the resume entry point after
+// a reconnect. It returns next, the first step that was NOT acknowledged
+// (next == Steps() means the stream completed and Done was sent), along
+// with the bytes sent over this connection. A degradation-policy driver
+// reconnects and calls ServeFrom(conn2, next) to resume without
+// duplicating or skipping a step; the wire step in each dataset frame
+// lets the receiver detect any step it already rendered.
+func (s *SimProxy) ServeFrom(conn *transport.Conn, from int) (next int, bytes int64, err error) {
 	conn.SetCompression(s.cfg.Compress)
 	conn.Journal = s.cfg.Journal
 	conn.Rank = s.cfg.Rank
-	for step := 0; step < s.Steps(); step++ {
+	next = from
+	for step := from; step < s.Steps(); step++ {
 		conn.Step = step
 		ds, err := s.StepData(step)
 		if err != nil {
-			return conn.BytesSent, fmt.Errorf("proxy: preparing step %d: %w", step, err)
+			return next, conn.BytesSent, fmt.Errorf("proxy: preparing step %d: %w", step, err)
 		}
 		if err := conn.SendDataset(ds); err != nil {
 			s.cfg.Journal.Error(s.cfg.Rank, step, err)
-			return conn.BytesSent, fmt.Errorf("proxy: sending step %d: %w", step, err)
+			return next, conn.BytesSent, fmt.Errorf("proxy: sending step %d: %w", step, err)
 		}
 		typ, _, ackStep, err := conn.Recv()
 		if err != nil {
-			return conn.BytesSent, fmt.Errorf("proxy: waiting for ack %d: %w", step, err)
+			return next, conn.BytesSent, fmt.Errorf("proxy: waiting for ack %d: %w", step, err)
 		}
 		if typ != transport.MsgAck || ackStep != int64(step) {
-			return conn.BytesSent, fmt.Errorf("proxy: expected ack for step %d, got type %d step %d", step, typ, ackStep)
+			return next, conn.BytesSent, fmt.Errorf("proxy: expected ack for step %d, got type %d step %d", step, typ, ackStep)
 		}
+		next = step + 1
 	}
 	if err := conn.SendDone(); err != nil {
-		return conn.BytesSent, err
+		return next, conn.BytesSent, err
 	}
-	return conn.BytesSent, nil
+	return next, conn.BytesSent, nil
 }

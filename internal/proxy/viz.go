@@ -72,6 +72,13 @@ type VizProxy struct {
 	// renders into it (cleared between images), so the per-image path
 	// allocates no framebuffers at steady state.
 	scratch *fb.Frame
+	// next is the first step not yet rendered+acked; it persists across
+	// Receive calls so a reconnected sender resuming at an earlier step is
+	// recognized (the duplicate is re-acked without rendering).
+	next int
+	// allowGaps permits the wire step to jump past next (a step the
+	// degradation policy skipped on the sender side).
+	allowGaps bool
 	// Results accumulates per-step instrumentation.
 	Results []StepResult
 }
@@ -208,8 +215,22 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// SetAllowGaps controls whether Receive tolerates the wire step jumping
+// past the next expected step. The coupling degradation policy enables
+// it when skipped steps are permitted; the default (false) treats a gap
+// as a protocol error, guaranteeing no step is silently lost.
+func (v *VizProxy) SetAllowGaps(on bool) { v.allowGaps = on }
+
+// NextStep returns the first step not yet rendered and acknowledged.
+func (v *VizProxy) NextStep() int { return v.next }
+
 // Receive runs the §III-C visualization-proxy protocol over an
-// established connection: receive datasets, render, ack, until done.
+// established connection: receive datasets, render, ack, until done. The
+// step counter persists across calls, so after a reconnect the same
+// proxy resumes where it stopped: a re-sent step it already rendered
+// (wire step behind the counter) is re-acked without rendering — the ack
+// was lost, not the work — and a step ahead of the counter is either a
+// policy-sanctioned skip (SetAllowGaps) or a protocol error.
 func (v *VizProxy) Receive(conn *transport.Conn) error {
 	conn.Journal = v.cfg.Journal
 	conn.Rank = v.cfg.Rank
@@ -217,27 +238,50 @@ func (v *VizProxy) Receive(conn *transport.Conn) error {
 	// the renderers nor the analysis operations retain the dataset, so the
 	// connection can decode every step into the previous step's arrays.
 	conn.SetDatasetReuse(true)
-	step := 0
 	for {
-		conn.Step = step
-		typ, ds, _, err := conn.Recv()
+		conn.Step = v.next
+		typ, ds, wireStep, err := conn.Recv()
 		if err != nil {
-			v.cfg.Journal.Error(v.cfg.Rank, step, err)
-			return fmt.Errorf("proxy: receiving step %d: %w", step, err)
+			v.cfg.Journal.Error(v.cfg.Rank, v.next, err)
+			return fmt.Errorf("proxy: receiving step %d: %w", v.next, err)
 		}
 		switch typ {
 		case transport.MsgDone:
 			return nil
 		case transport.MsgDataset:
+			step := int(wireStep)
+			if step < v.next {
+				// Duplicate of a step already rendered: the sender never saw
+				// our ack (connection died in between). Re-ack, don't re-render.
+				v.cfg.Journal.Emit(journal.Event{
+					Type: journal.TypeResume, Phase: journal.PhaseTransport,
+					Rank: v.cfg.Rank, Step: step,
+					Detail: fmt.Sprintf("duplicate step %d re-acked, next=%d", step, v.next),
+				})
+				if err := conn.SendAck(wireStep); err != nil {
+					return err
+				}
+				continue
+			}
+			if step > v.next {
+				if !v.allowGaps {
+					return fmt.Errorf("proxy: step gap: received %d, expected %d", step, v.next)
+				}
+				v.cfg.Journal.Emit(journal.Event{
+					Type: journal.TypeResume, Phase: journal.PhaseTransport,
+					Rank: v.cfg.Rank, Step: step,
+					Detail: fmt.Sprintf("gap accepted: %d..%d skipped", v.next, step-1),
+				})
+			}
 			if _, err := v.RenderStep(step, ds); err != nil {
 				return err
 			}
-			if err := conn.SendAck(int64(step)); err != nil {
+			if err := conn.SendAck(wireStep); err != nil {
 				return err
 			}
-			step++
+			v.next = step + 1
 		default:
-			return fmt.Errorf("proxy: unexpected message type %d at step %d", typ, step)
+			return fmt.Errorf("proxy: unexpected message type %d at step %d", typ, v.next)
 		}
 	}
 }

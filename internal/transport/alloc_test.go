@@ -65,8 +65,17 @@ func TestSendRecvSteadyStateAllocs(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		roundTrip()
 	}
+	// The round trip now includes the integrity machinery — CRC32C over
+	// header+payload on send, the streaming crcReader plus trailer verify
+	// on receive — all of which must stay inside the Conn's scratch state.
+	// Proving the checksum actually ran keeps this a CRC-path gate rather
+	// than a vacuous pass.
+	checksummed := ctrCRCChecked.Value()
 	if allocs := testing.AllocsPerRun(50, roundTrip); allocs > 0 {
-		t.Errorf("steady-state round trip allocates %.1f times per op, want 0", allocs)
+		t.Errorf("steady-state round trip allocates %.1f times per op, want 0 (CRC path included)", allocs)
+	}
+	if got := ctrCRCChecked.Value() - checksummed; got < 50 {
+		t.Errorf("crc_checked advanced by %d during AllocsPerRun, want >= 50 (CRC path not exercised)", got)
 	}
 
 	if err := send.SendDone(); err != nil {

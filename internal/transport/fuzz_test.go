@@ -1,0 +1,109 @@
+package transport
+
+// FuzzFrameFlip is the wire-format integrity fuzzer: a dataset frame is
+// encoded once, then the fuzzer flips an arbitrary byte with an
+// arbitrary mask. A zero mask must round-trip cleanly (bit-exact
+// dataset, correct step); any non-zero flip — header, step, payload, or
+// trailer, plain or compressed — must surface as an error, never a
+// silently wrong dataset. CRC32C guarantees detection of any single-byte
+// change, so a survivor here is a real hole in the framing.
+
+import (
+	"bytes"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/ascr-ecx/eth/internal/data"
+)
+
+// memConn adapts an in-memory byte stream to net.Conn: reads come from
+// r, writes accumulate in w, deadlines are accepted and ignored.
+type memConn struct {
+	r *bytes.Reader
+	w bytes.Buffer
+}
+
+func (m *memConn) Read(p []byte) (int, error) {
+	if m.r == nil {
+		return 0, net.ErrClosed
+	}
+	return m.r.Read(p)
+}
+func (m *memConn) Write(p []byte) (int, error)      { return m.w.Write(p) }
+func (m *memConn) Close() error                     { return nil }
+func (m *memConn) LocalAddr() net.Addr              { return memAddr{} }
+func (m *memConn) RemoteAddr() net.Addr             { return memAddr{} }
+func (m *memConn) SetDeadline(time.Time) error      { return nil }
+func (m *memConn) SetReadDeadline(time.Time) error  { return nil }
+func (m *memConn) SetWriteDeadline(time.Time) error { return nil }
+
+type memAddr struct{}
+
+func (memAddr) Network() string { return "mem" }
+func (memAddr) String() string  { return "mem" }
+
+// encodeFrame serializes one dataset frame (with step) into bytes.
+func encodeFrame(tb testing.TB, ds data.Dataset, compress bool, step int) []byte {
+	tb.Helper()
+	mc := &memConn{}
+	c := NewConn(mc)
+	c.SetCompression(compress)
+	c.Step = step
+	if err := c.SendDataset(ds); err != nil {
+		tb.Fatal(err)
+	}
+	return append([]byte(nil), mc.w.Bytes()...)
+}
+
+func decodeFrame(frame []byte) (data.Dataset, int64, error) {
+	c := NewConn(&memConn{r: bytes.NewReader(frame)})
+	typ, ds, step, err := c.Recv()
+	if err == nil && typ != MsgDataset {
+		return nil, 0, err
+	}
+	return ds, step, err
+}
+
+func FuzzFrameFlip(f *testing.F) {
+	want := sampleCloud(200)
+	frames := [2][]byte{
+		encodeFrame(f, want, false, 5),
+		encodeFrame(f, want, true, 5),
+	}
+	f.Add(false, uint32(0), byte(0))    // clean plain frame
+	f.Add(true, uint32(0), byte(0))     // clean compressed frame
+	f.Add(false, uint32(0), byte(0xff)) // type byte
+	f.Add(false, uint32(3), byte(0x80)) // length field
+	f.Add(false, uint32(12), byte(1))   // step field
+	f.Add(false, uint32(40), byte(0xa5))
+	f.Add(true, uint32(40), byte(0xa5)) // compressed payload
+	f.Add(false, uint32(1<<31), byte(2))
+	f.Fuzz(func(t *testing.T, compressed bool, pos uint32, mask byte) {
+		frame := frames[0]
+		if compressed {
+			frame = frames[1]
+		}
+		if mask == 0 {
+			ds, step, err := decodeFrame(frame)
+			if err != nil {
+				t.Fatalf("clean frame failed to decode: %v", err)
+			}
+			got, ok := ds.(*data.PointCloud)
+			if !ok || !reflect.DeepEqual(got.IDs, want.IDs) || !reflect.DeepEqual(got.X, want.X) {
+				t.Fatal("clean frame round-trip not bit-exact")
+			}
+			if step != 5 {
+				t.Fatalf("clean frame step = %d, want 5", step)
+			}
+			return
+		}
+		flipped := append([]byte(nil), frame...)
+		flipped[int(pos)%len(flipped)] ^= mask
+		if ds, _, err := decodeFrame(flipped); err == nil {
+			t.Fatalf("byte %d flipped with %#x decoded silently (ds=%v)",
+				int(pos)%len(flipped), mask, ds != nil)
+		}
+	})
+}

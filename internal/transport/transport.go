@@ -6,6 +6,21 @@
 // waits for the port, and connects. Messages are length-prefixed frames
 // with a one-byte type; datasets travel in the vtkio container format, so
 // the wire payload is identical to the on-disk format.
+//
+// Dataset frames are integrity-checked and resumable: each carries the
+// sender's step counter and a CRC32C trailer computed over the header and
+// payload, so a flipped byte anywhere in the frame surfaces as
+// ErrChecksum instead of a silently wrong dataset, and a receiver can
+// recognize a re-sent step after a reconnect. The wire layout is
+//
+//	MsgDataset/MsgDatasetFlate: [1B type][8B payload len][8B step][payload][4B CRC32C]
+//	MsgAck:                     [1B type][8B len=8][8B step]
+//	MsgDone:                    [1B type][8B len=0]
+//
+// with all integers big-endian. Connections optionally arm per-operation
+// read/write deadlines (SetTimeouts) so a stalled peer surfaces as
+// ErrTimeout, and DialBackoff rebuilds a connection through the layout
+// file with capped exponential backoff and seeded jitter.
 package transport
 
 import (
@@ -15,7 +30,9 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math/rand"
 	"net"
 	"os"
 	"strconv"
@@ -31,12 +48,16 @@ import (
 // Transport telemetry: byte counters plus per-message latency
 // distributions for the serialize/send/recv legs of every transfer.
 var (
-	ctrBytesSent = telemetry.Default.Counter("transport.bytes_sent")
-	ctrBytesRecv = telemetry.Default.Counter("transport.bytes_recv")
-	ctrMessages  = telemetry.Default.Counter("transport.messages")
-	spanSerial   = telemetry.Default.Span("transport.serialize")
-	spanSend     = telemetry.Default.Span("transport.send")
-	spanRecv     = telemetry.Default.Span("transport.recv")
+	ctrBytesSent  = telemetry.Default.Counter("transport.bytes_sent")
+	ctrBytesRecv  = telemetry.Default.Counter("transport.bytes_recv")
+	ctrMessages   = telemetry.Default.Counter("transport.messages")
+	ctrCRCChecked = telemetry.Default.Counter("transport.crc_checked")
+	ctrCRCErrors  = telemetry.Default.Counter("transport.crc_errors")
+	ctrTimeouts   = telemetry.Default.Counter("transport.timeouts")
+	ctrRedials    = telemetry.Default.Counter("transport.redials")
+	spanSerial    = telemetry.Default.Span("transport.serialize")
+	spanSend      = telemetry.Default.Span("transport.send")
+	spanRecv      = telemetry.Default.Span("transport.recv")
 )
 
 // MsgType tags a protocol frame.
@@ -56,11 +77,35 @@ const (
 	MsgDatasetFlate
 )
 
-// maxFrame bounds a frame read from the wire (guards corrupt headers).
-const maxFrame = 1 << 36
+// DefaultMaxFrame bounds a frame read from the wire (guards corrupt
+// headers) when SetMaxFrame has not lowered it. 1 GiB fits in int on
+// 32-bit platforms and comfortably exceeds any dataset the harness moves
+// in one step.
+const DefaultMaxFrame = 1 << 30
 
-// ErrClosed is returned when the peer closed the stream mid-protocol.
-var ErrClosed = errors.New("transport: connection closed by peer")
+// datasetHeaderLen is the on-wire header of a dataset frame: type (1) +
+// payload length (8) + step (8).
+const datasetHeaderLen = 17
+
+// castagnoli is the CRC32C polynomial table used for frame trailers
+// (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Sentinel errors. All transport failures that recovery logic dispatches
+// on wrap one of these, per the errwrap convention.
+var (
+	// ErrClosed is returned when the peer closed the stream mid-protocol.
+	ErrClosed = errors.New("transport: connection closed by peer")
+	// ErrChecksum is returned when a dataset frame's CRC32C trailer does
+	// not match its contents: the frame was corrupted in transit.
+	ErrChecksum = errors.New("transport: frame checksum mismatch")
+	// ErrFrameTooLarge is returned when a frame header announces a length
+	// outside the configured bound (a corrupt header or hostile peer).
+	ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+	// ErrTimeout is returned when an armed read or write deadline expires
+	// before the operation completes (a stalled peer).
+	ErrTimeout = errors.New("transport: deadline exceeded")
+)
 
 // Conn is a framed protocol connection between a simulation-proxy rank
 // and its paired visualization-proxy rank.
@@ -92,8 +137,16 @@ type Conn struct {
 	zw       *flate.Writer
 	zr       io.ReadCloser
 	lr       io.LimitedReader
-	scratch  [16]byte // write side (headers, ack payloads)
-	rscratch [16]byte // read side, so one sender + one receiver goroutine stay race-free
+	crcr     crcReader
+	scratch  [21]byte // write side (headers, ack payloads, CRC trailers)
+	rscratch [21]byte // read side, so one sender + one receiver goroutine stay race-free
+
+	// maxFrame, when > 0, overrides DefaultMaxFrame as the inbound frame
+	// bound; readTimeout/writeTimeout, when > 0, arm per-operation
+	// deadlines on the underlying connection.
+	maxFrame     int64
+	readTimeout  time.Duration
+	writeTimeout time.Duration
 
 	// prev/reuse drive the decode-into path: when reuse is on, Recv hands
 	// the previous step's dataset to vtkio.ReadInto so a shape-stable
@@ -130,6 +183,75 @@ func (c *Conn) SetDatasetReuse(on bool) {
 	if !on {
 		c.prev = nil
 	}
+}
+
+// SetMaxFrame lowers (or raises) the inbound frame-length bound from
+// DefaultMaxFrame. Frames announcing more than n payload bytes are
+// rejected with ErrFrameTooLarge before any allocation. n <= 0 restores
+// the default.
+func (c *Conn) SetMaxFrame(n int64) { c.maxFrame = n }
+
+// SetTimeouts arms per-operation deadlines: every Recv gets read and
+// every Send* gets write deadline now+d on the underlying connection.
+// A deadline of 0 disables that direction. An expired deadline surfaces
+// as an error wrapping ErrTimeout. The read deadline bounds the whole
+// wait for the next frame, so size it for the peer's think time between
+// steps, not just wire latency.
+func (c *Conn) SetTimeouts(read, write time.Duration) {
+	c.readTimeout = read
+	c.writeTimeout = write
+}
+
+// frameBound is the effective inbound frame limit.
+func (c *Conn) frameBound() int64 {
+	if c.maxFrame > 0 {
+		return c.maxFrame
+	}
+	return DefaultMaxFrame
+}
+
+// armRead arms the read deadline for one Recv, when configured.
+func (c *Conn) armRead() {
+	if c.readTimeout > 0 {
+		c.c.SetReadDeadline(time.Now().Add(c.readTimeout))
+	}
+}
+
+// armWrite arms the write deadline for one Send, when configured.
+func (c *Conn) armWrite() {
+	if c.writeTimeout > 0 {
+		c.c.SetWriteDeadline(time.Now().Add(c.writeTimeout))
+	}
+}
+
+// readErr maps low-level read failures onto the transport's sentinels:
+// deadline expiries wrap ErrTimeout, EOFs wrap ErrClosed.
+func (c *Conn) readErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		ctrTimeouts.Inc()
+		return fmt.Errorf("transport: read deadline (%v) expired: %w", c.readTimeout, ErrTimeout)
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrClosed
+	}
+	return err
+}
+
+// writeErr is readErr's write-side counterpart.
+func (c *Conn) writeErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		ctrTimeouts.Inc()
+		return fmt.Errorf("transport: write deadline (%v) expired: %w", c.writeTimeout, ErrTimeout)
+	}
+	return err
 }
 
 // SendDataset streams ds as a MsgDataset (or MsgDatasetFlate) frame.
@@ -173,15 +295,30 @@ func (c *Conn) SendDataset(ds data.Dataset) error {
 		Bytes: int64(len(out)), Elements: ds.Count(),
 	})
 
+	// Frame: 17-byte header (type, payload length, step), payload, then a
+	// CRC32C trailer over header+payload so any in-flight flip — header
+	// included — is detected at the receiver. The step field is what lets
+	// the receiver recognize a duplicate after a reconnect-and-resume.
 	t1 := time.Now()
-	if err := c.writeHeader(typ, int64(len(out))); err != nil {
-		return err
+	c.armWrite()
+	hdr := c.scratch[:datasetHeaderLen]
+	hdr[0] = byte(typ)
+	binary.BigEndian.PutUint64(hdr[1:9], uint64(len(out)))
+	binary.BigEndian.PutUint64(hdr[9:17], uint64(c.Step))
+	crc := crc32.Update(0, castagnoli, hdr)
+	crc = crc32.Update(crc, castagnoli, out)
+	if _, err := c.bw.Write(hdr); err != nil {
+		return c.writeErr(err)
 	}
 	if _, err := c.bw.Write(out); err != nil {
-		return err
+		return c.writeErr(err)
+	}
+	binary.BigEndian.PutUint32(c.scratch[17:21], crc)
+	if _, err := c.bw.Write(c.scratch[17:21]); err != nil {
+		return c.writeErr(err)
 	}
 	if err := c.bw.Flush(); err != nil {
-		return err
+		return c.writeErr(err)
 	}
 	sendDur := time.Since(t1)
 	c.BytesSent += int64(len(out))
@@ -198,22 +335,24 @@ func (c *Conn) SendDataset(ds data.Dataset) error {
 
 // SendAck sends an acknowledgment for the given step.
 func (c *Conn) SendAck(step int64) error {
+	c.armWrite()
 	if err := c.writeHeader(MsgAck, 8); err != nil {
-		return err
+		return c.writeErr(err)
 	}
 	binary.BigEndian.PutUint64(c.scratch[:8], uint64(step))
 	if _, err := c.bw.Write(c.scratch[:8]); err != nil {
-		return err
+		return c.writeErr(err)
 	}
-	return c.bw.Flush()
+	return c.writeErr(c.bw.Flush())
 }
 
 // SendDone signals end of run.
 func (c *Conn) SendDone() error {
+	c.armWrite()
 	if err := c.writeHeader(MsgDone, 0); err != nil {
-		return err
+		return c.writeErr(err)
 	}
-	return c.bw.Flush()
+	return c.writeErr(c.bw.Flush())
 }
 
 func (c *Conn) writeHeader(t MsgType, n int64) error {
@@ -224,26 +363,37 @@ func (c *Conn) writeHeader(t MsgType, n int64) error {
 }
 
 // Recv reads the next frame. For MsgDataset the decoded dataset is
-// returned; for MsgAck the step counter is in step; MsgDone has neither.
+// returned along with the sender's step counter from the frame header;
+// for MsgAck the acknowledged step is in step; MsgDone has neither. A
+// frame whose CRC32C trailer does not match yields an error wrapping
+// ErrChecksum, never a silently wrong dataset.
 func (c *Conn) Recv() (t MsgType, ds data.Dataset, step int64, err error) {
+	c.armRead()
 	if _, err = io.ReadFull(c.br, c.rscratch[:9]); err != nil {
-		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-			return 0, nil, 0, ErrClosed
-		}
-		return 0, nil, 0, err
+		return 0, nil, 0, c.readErr(err)
 	}
 	t = MsgType(c.rscratch[0])
 	n := int64(binary.BigEndian.Uint64(c.rscratch[1:9]))
-	if n < 0 || n > maxFrame {
-		return 0, nil, 0, fmt.Errorf("transport: implausible frame length %d", n)
+	if n < 0 || n > c.frameBound() {
+		return 0, nil, 0, fmt.Errorf("transport: frame length %d outside [0, %d]: %w",
+			n, c.frameBound(), ErrFrameTooLarge)
 	}
 	switch t {
 	case MsgDataset, MsgDatasetFlate:
+		if _, err = io.ReadFull(c.br, c.rscratch[9:datasetHeaderLen]); err != nil {
+			return 0, nil, 0, c.readErr(err)
+		}
+		step = int64(binary.BigEndian.Uint64(c.rscratch[9:datasetHeaderLen]))
 		// Time the payload leg only: the header read above blocks on the
 		// peer producing data, so including it would charge think-time to
 		// the transport phase.
 		t0 := time.Now()
-		c.lr.R, c.lr.N = c.br, n
+		// The CRC reader sits between the connection and the limit reader
+		// so the running checksum covers exactly the wire payload
+		// (compressed bytes on the flate path), seeded with the header.
+		c.crcr.r = c.br
+		c.crcr.sum = crc32.Update(0, castagnoli, c.rscratch[:datasetHeaderLen])
+		c.lr.R, c.lr.N = &c.crcr, n
 		lr := &c.lr
 		var payload io.Reader = lr
 		if t == MsgDatasetFlate {
@@ -256,21 +406,32 @@ func (c *Conn) Recv() (t MsgType, ds data.Dataset, step int64, err error) {
 		}
 		prev := c.prev
 		c.prev = nil // never reuse through a failed decode
-		ds, err = vtkio.ReadInto(payload, prev)
-		if err != nil {
-			return 0, nil, 0, fmt.Errorf("transport: decoding dataset: %w", err)
+		var decodeErr error
+		ds, decodeErr = vtkio.ReadInto(payload, prev)
+		if t == MsgDatasetFlate {
+			if cerr := c.zr.Close(); decodeErr == nil {
+				decodeErr = cerr
+			}
+		}
+		// Drain the rest of the payload and verify the trailer even after
+		// a decode failure: corruption explains most decode errors, and
+		// the typed checksum verdict is what recovery dispatches on.
+		if _, derr := io.Copy(io.Discard, lr); derr != nil {
+			return 0, nil, 0, c.readErr(derr)
+		}
+		if _, err = io.ReadFull(c.br, c.rscratch[17:21]); err != nil {
+			return 0, nil, 0, c.readErr(err)
+		}
+		if want := binary.BigEndian.Uint32(c.rscratch[17:21]); c.crcr.sum != want {
+			ctrCRCErrors.Inc()
+			return 0, nil, 0, fmt.Errorf("transport: dataset frame step %d: %w", step, ErrChecksum)
+		}
+		ctrCRCChecked.Inc()
+		if decodeErr != nil {
+			return 0, nil, 0, fmt.Errorf("transport: decoding dataset: %w", decodeErr)
 		}
 		if c.reuse {
 			c.prev = ds
-		}
-		if t == MsgDatasetFlate {
-			if cerr := c.zr.Close(); cerr != nil {
-				return 0, nil, 0, cerr
-			}
-		}
-		// Drain any remainder (vtkio reads exactly its payload, but be safe).
-		if _, derr := io.Copy(io.Discard, lr); derr != nil {
-			return 0, nil, 0, derr
 		}
 		c.BytesReceived += n
 		recvDur := time.Since(t0)
@@ -281,13 +442,13 @@ func (c *Conn) Recv() (t MsgType, ds data.Dataset, step int64, err error) {
 			Rank: c.Rank, Step: c.Step, DurNS: int64(recvDur),
 			Bytes: n, Elements: ds.Count(), Detail: "recv",
 		})
-		return MsgDataset, ds, 0, nil
+		return MsgDataset, ds, step, nil
 	case MsgAck:
 		if n != 8 {
 			return 0, nil, 0, fmt.Errorf("transport: ack frame length %d", n)
 		}
 		if _, err = io.ReadFull(c.br, c.rscratch[:8]); err != nil {
-			return 0, nil, 0, err
+			return 0, nil, 0, c.readErr(err)
 		}
 		return t, nil, int64(binary.BigEndian.Uint64(c.rscratch[:8])), nil
 	case MsgDone:
@@ -298,6 +459,20 @@ func (c *Conn) Recv() (t MsgType, ds data.Dataset, step int64, err error) {
 	default:
 		return 0, nil, 0, fmt.Errorf("transport: unknown message type %d", c.rscratch[0])
 	}
+}
+
+// crcReader folds every byte it passes through into a running CRC32C.
+// It lives on the Conn so the steady-state receive path stays
+// allocation-free.
+type crcReader struct {
+	r   io.Reader
+	sum uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.sum = crc32.Update(cr.sum, castagnoli, p[:n])
+	return n, err
 }
 
 // payloadBuffer is a minimal growable write buffer ([]byte as io.Writer).
@@ -421,6 +596,97 @@ func Dial(layoutPath string, rank int, timeout time.Duration) (*Conn, error) {
 			}
 		}
 	}
+}
+
+// Backoff parameterizes DialBackoff. The zero value is unusable; start
+// from DefaultBackoff and override fields as needed.
+type Backoff struct {
+	Base       time.Duration // first retry delay
+	Max        time.Duration // cap on any single delay
+	Attempts   int           // total dial attempts before giving up
+	Jitter     float64       // fraction of the delay randomized, in [0,1]
+	Seed       int64         // jitter RNG seed; reproducible runs share seeds
+	LayoutWait time.Duration // per-attempt wait for the rank's layout entry
+
+	// Dial replaces net.DialTimeout when non-nil, letting tests and the
+	// fault injector intercept connection attempts.
+	Dial func(network, addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// DefaultBackoff is the retry policy used when a caller passes a zero
+// Attempts count: 8 attempts from 50ms doubling to a 1s cap with 20%
+// jitter.
+func DefaultBackoff(seed int64) Backoff {
+	return Backoff{
+		Base:       50 * time.Millisecond,
+		Max:        time.Second,
+		Attempts:   8,
+		Jitter:     0.2,
+		Seed:       seed,
+		LayoutWait: 5 * time.Second,
+	}
+}
+
+// delay returns the sleep before attempt i (i >= 1), exponentially grown
+// from Base, capped at Max, with a seeded jitter fraction so concurrent
+// dialers do not thundering-herd the listener.
+func (b Backoff) delay(i int, rng *rand.Rand) time.Duration {
+	d := b.Base << uint(i-1)
+	if b.Max > 0 && (d > b.Max || d <= 0) {
+		d = b.Max
+	}
+	if b.Jitter > 0 && rng != nil {
+		f := 1 - b.Jitter + 2*b.Jitter*rng.Float64()
+		d = time.Duration(float64(d) * f)
+	}
+	return d
+}
+
+// DialBackoff connects to rank via the layout file like Dial, but with
+// capped exponential backoff between attempts instead of a hot poll. The
+// layout file is re-read before every attempt so a restarted listener's
+// fresh address wins over a stale one — this is the reconnect path after
+// a mid-run connection loss. Every attempt past the first increments the
+// transport.redials counter.
+func DialBackoff(layoutPath string, rank int, bo Backoff) (*Conn, error) {
+	if bo.Attempts <= 0 {
+		def := DefaultBackoff(bo.Seed)
+		def.Dial = bo.Dial
+		bo = def
+	}
+	dial := bo.Dial
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	var rng *rand.Rand
+	if bo.Jitter > 0 {
+		rng = rand.New(rand.NewSource(bo.Seed))
+	}
+	addr, err := WaitLayout(layoutPath, rank, bo.LayoutWait)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for i := 0; i < bo.Attempts; i++ {
+		if i > 0 {
+			ctrRedials.Inc()
+			time.Sleep(bo.delay(i, rng))
+			// Re-resolve: a restarted simulation proxy appends a fresh
+			// address that must win over the stale one we first read.
+			if entries, rerr := ReadLayout(layoutPath); rerr == nil {
+				if fresh, ok := entries[rank]; ok {
+					addr = fresh
+				}
+			}
+		}
+		c, err := dial("tcp", addr, time.Second)
+		if err == nil {
+			return NewConn(c), nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("transport: dialing rank %d at %s after %d attempts: %w",
+		rank, addr, bo.Attempts, lastErr)
 }
 
 // openAppend opens path for appending; separated out for tests.

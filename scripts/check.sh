@@ -19,6 +19,9 @@ go test -race ./...
 echo "== go test -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio"
 go test -run='^$' -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio/
 
+echo "== go test -fuzz=FuzzFrameFlip -fuzztime=10s ./internal/transport"
+go test -run='^$' -fuzz=FuzzFrameFlip -fuzztime=10s ./internal/transport/
+
 # Benchmark smoke: one iteration of every benchmark with -benchmem, so a
 # benchmark that panics or regresses into a compile error fails the gate
 # (allocation budgets themselves are asserted by the AllocsPerRun tests).
