@@ -14,9 +14,19 @@
 //	ethbench -csv results/  # also write CSVs
 //	ethbench -calibrated    # use this machine's measured kernel costs
 //	ethbench -cpuprofile cpu.pb.gz  # pprof capture around the run
+//	ethbench -checkpoint bench.ckpt           # record each finished experiment
+//	ethbench -checkpoint bench.ckpt -resume   # skip experiments already done
+//
+// With -checkpoint, every completed experiment is recorded in an
+// atomically-replaced checkpoint file, and SIGINT/SIGTERM stops cleanly
+// at the next experiment boundary (exit 3). A later -resume run skips
+// every recorded experiment, so a killed overnight sweep picks up where
+// it left off instead of replaying hours of finished work.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -29,7 +39,9 @@ import (
 
 	"github.com/ascr-ecx/eth/internal/cluster"
 	"github.com/ascr-ecx/eth/internal/experiments"
+	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/metrics"
+	"github.com/ascr-ecx/eth/internal/supervise"
 	"github.com/ascr-ecx/eth/internal/telemetry"
 )
 
@@ -44,7 +56,13 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	noTiming := flag.Bool("notiming", false, "suppress per-experiment timing and the telemetry summary")
+	ckptPath := flag.String("checkpoint", "", "record each completed experiment in this checkpoint file")
+	resume := flag.Bool("resume", false, "skip experiments the -checkpoint file records as complete")
 	flag.Parse()
+
+	if *resume && *ckptPath == "" {
+		log.Fatal("-resume needs -checkpoint: the completed-experiment list lives there")
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -81,8 +99,41 @@ func main() {
 		order = []string{*only}
 	}
 
+	// Load the completed-experiment list when resuming; a missing
+	// checkpoint file is a fresh start.
+	var ckpt journal.Checkpoint
+	ckpt.Step = -1
+	if *resume {
+		cp, err := journal.ReadCheckpoint(*ckptPath)
+		switch {
+		case err == nil:
+			ckpt = cp
+		case errors.Is(err, os.ErrNotExist):
+			// fresh start
+		default:
+			log.Fatal(err)
+		}
+	}
+
+	// With a checkpoint file, signals stop the sweep cleanly at the next
+	// experiment boundary rather than mid-render.
+	ctx := context.Background()
+	if *ckptPath != "" {
+		var stop context.CancelFunc
+		ctx, stop = supervise.SignalContext(ctx, nil)
+		defer stop()
+	}
+
 	telemetry.Default.Reset()
 	for _, id := range order {
+		if ckpt.Has(id) {
+			fmt.Printf("==== %s ==== (complete in %s, skipped)\n\n", strings.ToUpper(id), *ckptPath)
+			continue
+		}
+		if ctx.Err() != nil {
+			log.Printf("interrupted; %d experiments recorded in %s (-resume continues)", len(ckpt.Done), *ckptPath)
+			os.Exit(supervise.ExitShutdown)
+		}
 		t0 := time.Now()
 		res, err := runs[id](cfg)
 		if err != nil {
@@ -99,6 +150,14 @@ func main() {
 		fmt.Println()
 		if *csvDir != "" {
 			if err := writeCSV(*csvDir, id, res); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *ckptPath != "" {
+			ckpt.Done = append(ckpt.Done, id)
+			ckpt.Detail = "last=" + id
+			ckpt.T = time.Time{} // restamp at write
+			if err := journal.WriteCheckpoint(*ckptPath, ckpt); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -14,10 +14,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 
 	"github.com/ascr-ecx/eth/internal/data"
 	"github.com/ascr-ecx/eth/internal/journal"
@@ -90,7 +93,11 @@ func printFields(fields []data.Field) {
 // any recorded errors.
 func auditJournal(path string) error {
 	events, err := journal.ReadFile(path)
-	if err != nil {
+	if errors.Is(err, journal.ErrTornTail) {
+		// A crash mid-write leaves at most one torn final line; the clean
+		// prefix is still a valid audit subject.
+		fmt.Printf("warning: %s has a torn final line (crash mid-write); auditing the clean prefix\n", path)
+	} else if err != nil {
 		return err
 	}
 	fmt.Printf("%s:\n", path)
@@ -111,7 +118,8 @@ func auditJournal(path string) error {
 		journal.TypeDataset, journal.TypeSample, journal.TypeSerialize,
 		journal.TypeTransfer, journal.TypeRender, journal.TypeAnalysis,
 		journal.TypeComposite, journal.TypeRetry, journal.TypeSkip,
-		journal.TypeResume, journal.TypeError,
+		journal.TypeResume, journal.TypeError, journal.TypeRestart,
+		journal.TypeShutdown, journal.TypeCheckpoint,
 	} {
 		if counts[ty] > 0 {
 			ct.AddRow(ty, counts[ty])
@@ -119,6 +127,18 @@ func auditJournal(path string) error {
 	}
 	if err := ct.Fprint(os.Stdout); err != nil {
 		return err
+	}
+
+	// Supervision audit: which roles were restarted, how often, and why.
+	if counts[journal.TypeRestart] > 0 {
+		rt := metrics.NewTable("Restarts by role", "role", "restarts", "causes")
+		roles, causes := restartsByRole(events)
+		for _, role := range sortedKeys(roles) {
+			rt.AddRow(role, roles[role], causes[role])
+		}
+		if err := rt.Fprint(os.Stdout); err != nil {
+			return err
+		}
 	}
 
 	breakdown := journal.Breakdown(events)
@@ -138,8 +158,56 @@ func auditJournal(path string) error {
 	if errs := journal.Errors(events); len(errs) > 0 {
 		fmt.Printf("  errors   %d\n", len(errs))
 		for _, ev := range errs {
-			fmt.Printf("    rank=%d step=%d: %s\n", ev.Rank, ev.Step, ev.Err)
+			fmt.Printf("    rank=%d step=%d: %s\n", ev.Rank, ev.Step, firstLine(ev.Err))
 		}
 	}
 	return nil
+}
+
+// restartsByRole tallies restart events per supervised role, collecting
+// the distinct cause tokens, both parsed from the event detail
+// ("role=viz attempt=1/3 cause=exit backoff=5ms").
+func restartsByRole(events []journal.Event) (map[string]int, map[string]string) {
+	counts := map[string]int{}
+	causes := map[string]string{}
+	for _, ev := range events {
+		if ev.Type != journal.TypeRestart {
+			continue
+		}
+		role, cause := "?", "?"
+		for _, tok := range strings.Fields(ev.Detail) {
+			if v, ok := strings.CutPrefix(tok, "role="); ok {
+				role = v
+			}
+			if v, ok := strings.CutPrefix(tok, "cause="); ok {
+				cause = v
+			}
+		}
+		counts[role]++
+		if !strings.Contains(causes[role], cause) {
+			if causes[role] != "" {
+				causes[role] += ","
+			}
+			causes[role] += cause
+		}
+	}
+	return counts, causes
+}
+
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// firstLine truncates multi-line error text (panic stacks) for the
+// one-row-per-error audit listing.
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i] + " [stack in journal]"
+	}
+	return s
 }

@@ -12,9 +12,16 @@
 //	ethrun -workload hacc -particles 200000 -algorithm gsplat -ranks 4
 //	ethrun -workload hacc -data 'data/*.ethd' -algorithm raycast -mode socket
 //	ethrun -modeled -algorithm raycast -nodes 400 -elements 1e9 -images 500
+//	ethrun -steps 50 -trace run.jsonl -watchdog 30s -max-restarts 3
+//	ethrun -steps 50 -trace run.jsonl -resume   # continue a crashed run
+//
+// Supervised runs (-watchdog, -max-restarts, -resume) drain on the first
+// SIGINT/SIGTERM and exit 3; a second signal hard-aborts with exit 4; an
+// exhausted restart budget exits 5.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -32,6 +39,7 @@ import (
 	"github.com/ascr-ecx/eth/internal/layout"
 	"github.com/ascr-ecx/eth/internal/render"
 	"github.com/ascr-ecx/eth/internal/sampling"
+	"github.com/ascr-ecx/eth/internal/supervise"
 )
 
 func main() {
@@ -69,6 +77,11 @@ func main() {
 	skips := flag.Int("skips", 0, "measured: steps that may be skipped after retries exhaust")
 	ioTimeout := flag.Duration("iotimeout", 0, "measured: per-operation socket deadline (0 = none)")
 
+	// Supervision flags: watchdog + restart-with-resume + crash recovery.
+	watchdog := flag.Duration("watchdog", 0, "measured: stall watchdog timeout per pair (0 = no watchdog); implies supervision")
+	maxRestarts := flag.Int("max-restarts", 0, "measured: restarts allowed per pair before the run fails; implies supervision")
+	resume := flag.Bool("resume", false, "measured: resume a crashed run from its step cursors (requires -trace; implies supervision)")
+
 	// Job-layout file (paper §VII).
 	specFile := flag.String("spec", "", "run a JSON job-layout file instead of flag configuration")
 
@@ -99,6 +112,7 @@ func main() {
 			trace: *trace,
 			faultsFile: *faultsFile, faultSeed: *faultSeed,
 			retries: *retries, skips: *skips, ioTimeout: *ioTimeout,
+			watchdog: *watchdog, maxRestarts: *maxRestarts, resume: *resume,
 		})
 	}
 	stopProfiles()
@@ -207,6 +221,14 @@ type measuredArgs struct {
 	faultSeed              int64
 	retries, skips         int
 	ioTimeout              time.Duration
+	watchdog               time.Duration
+	maxRestarts            int
+	resume                 bool
+}
+
+// supervised reports whether any supervision flag was given.
+func (a measuredArgs) supervised() bool {
+	return a.watchdog > 0 || a.maxRestarts > 0 || a.resume
 }
 
 // buildPolicy assembles the socket-mode degradation policy from the
@@ -281,8 +303,21 @@ func runMeasured(a measuredArgs) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	jw := openTrace(a.trace)
-	res, err := core.RunMeasured(core.MeasuredSpec{
+	if a.resume && a.trace == "" {
+		log.Fatal("-resume needs -trace: the step cursors live next to the trace file")
+	}
+	var jw *journal.Writer
+	if a.resume {
+		// Reopen the crashed run's journal (a torn final line from kill -9
+		// is repaired on open) so the resumed events extend the same file.
+		jw, err = journal.Append(a.trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		jw = openTrace(a.trace)
+	}
+	spec := core.MeasuredSpec{
 		Workload:       wl,
 		Algorithm:      a.algorithm,
 		Width:          a.width,
@@ -296,9 +331,28 @@ func runMeasured(a measuredArgs) {
 		OutDir:         a.out,
 		Journal:        jw,
 		Policy:         buildPolicy(a),
-	})
+	}
+	if a.supervised() {
+		spec.Supervise = &supervise.Config{
+			MaxRestarts: a.maxRestarts,
+			Stall:       a.watchdog,
+		}
+		if a.trace != "" {
+			spec.CursorDir = a.trace + ".cursors"
+		}
+		// First SIGINT/SIGTERM drains the in-flight step and exits with
+		// the shutdown code; a second hard-aborts.
+		ctx, stop := supervise.SignalContext(context.Background(), jw)
+		defer stop()
+		spec.Ctx = ctx
+	}
+	res, err := core.RunMeasured(spec)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		if jw != nil {
+			jw.Close()
+		}
+		os.Exit(supervise.ExitCode(err))
 	}
 	fmt.Printf("measured run: %s on %s, %d ranks, %s coupling\n",
 		a.algorithm, wl.Name, maxInt(a.ranks, 1), a.mode)

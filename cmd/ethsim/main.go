@@ -7,15 +7,24 @@
 // Usage:
 //
 //	ethsim -data 'data/hacc_step*.ethd' -rank 0 -ranks 4 -layout /tmp/eth.layout
+//	ethsim -data 'data/*.ethd' -layout /tmp/eth.layout -max-restarts 3
+//
+// With -max-restarts N, a lost visualization peer is not fatal: the
+// proxy re-opens its port and resumes the restarted peer at the first
+// unacknowledged step, up to N times. SIGINT/SIGTERM drains and exits 3.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"github.com/ascr-ecx/eth/internal/proxy"
 	"github.com/ascr-ecx/eth/internal/sampling"
+	"github.com/ascr-ecx/eth/internal/supervise"
 	"github.com/ascr-ecx/eth/internal/transport"
 )
 
@@ -32,6 +41,7 @@ func main() {
 	method := flag.String("method", "random", "sampling method: random, stride, stratified")
 	seed := flag.Int64("seed", 1, "sampling seed")
 	compress := flag.Bool("compress", false, "DEFLATE-compress datasets on the wire")
+	maxRestarts := flag.Int("max-restarts", 0, "visualization-peer reconnections to survive, resuming each at the first unacknowledged step")
 	flag.Parse()
 
 	if *dataGlob == "" {
@@ -64,17 +74,50 @@ func main() {
 	fmt.Printf("rank %d listening at %s (%d steps), waiting for visualization proxy\n",
 		*rank, ln.Addr(), sim.Steps())
 
-	c, err := ln.Accept()
-	if err != nil {
-		log.Fatal(err)
+	// First signal drains the in-flight step and exits 3; closing the
+	// listener unblocks a pending Accept.
+	ctx, stop := supervise.SignalContext(context.Background(), nil)
+	defer stop()
+	sim.SetStop(ctx.Done())
+	//lint:ignore nakedgo listener closer; Accept's error is handled by the loop below
+	go func() {
+		<-ctx.Done()
+		ln.Close()
+	}()
+
+	// Re-accept loop: each viz incarnation resumes at the first step the
+	// previous one did not acknowledge.
+	var total int64
+	next, drops := 0, 0
+	for next < sim.Steps() {
+		c, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				log.Printf("rank %d drained at step %d", *rank, next)
+				os.Exit(supervise.ExitShutdown)
+			}
+			log.Fatal(err)
+		}
+		conn := transport.NewConn(c)
+		n, sent, err := sim.ServeFrom(conn, next)
+		conn.Close()
+		next = n
+		total += sent
+		if err == nil {
+			continue
+		}
+		if ctx.Err() != nil || errors.Is(err, proxy.ErrStopped) {
+			log.Printf("rank %d drained at step %d", *rank, next)
+			os.Exit(supervise.ExitShutdown)
+		}
+		drops++
+		if drops > *maxRestarts {
+			log.Fatalf("serving: %v (peer lost %d times, budget %d)", err, drops, *maxRestarts)
+		}
+		log.Printf("visualization peer lost at step %d (%v); re-accepting (%d/%d)",
+			next, err, drops, *maxRestarts)
 	}
-	conn := transport.NewConn(c)
-	defer conn.Close()
-	sent, err := sim.Serve(conn)
-	if err != nil {
-		log.Fatalf("serving: %v", err)
-	}
-	fmt.Printf("rank %d done: served %d steps, %.1f MB\n", *rank, sim.Steps(), float64(sent)/1e6)
+	fmt.Printf("rank %d done: served %d steps, %.1f MB\n", *rank, sim.Steps(), float64(total)/1e6)
 }
 
 func parseMethod(s string) (sampling.Method, error) {

@@ -6,17 +6,29 @@
 // Usage:
 //
 //	ethviz -rank 0 -layout /tmp/eth.layout -algorithm raycast -out frames/
+//	ethviz -rank 0 -layout /tmp/eth.layout -cursor viz.ckpt -trace viz.jsonl -reconnect 3
+//
+// With -cursor, each completed step is recorded in an atomically-replaced
+// checkpoint; a restarted ethviz pointed at the same cursor resumes after
+// its last completed step instead of re-rendering. -trace appends the
+// step journal to a crash-safe JSONL file (a torn final line from kill -9
+// is repaired on reopen). -reconnect N redials a lost simulation peer up
+// to N times, resuming at the cursor. SIGINT/SIGTERM drains and exits 3.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
+	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/proxy"
 	"github.com/ascr-ecx/eth/internal/render"
+	"github.com/ascr-ecx/eth/internal/supervise"
 	"github.com/ascr-ecx/eth/internal/transport"
 )
 
@@ -36,12 +48,26 @@ func main() {
 	out := flag.String("out", "", "directory for PNG artifacts (empty = discard)")
 	timeout := flag.Duration("timeout", 30*time.Second, "rendezvous timeout")
 	ops := flag.String("ops", "", "comma-separated in-situ analysis operations (halos, stats, save)")
+	cursor := flag.String("cursor", "", "persist the step cursor here; a restarted ethviz resumes after its last completed step")
+	trace := flag.String("trace", "", "append the step journal (JSONL) to this crash-safe file")
+	reconnect := flag.Int("reconnect", 0, "redials to survive when the simulation peer is lost mid-run")
 	flag.Parse()
 
 	operations, err := parseOps(*ops)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	var jw *journal.Writer
+	if *trace != "" {
+		jw, err = journal.Append(*trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer jw.Close()
+	}
+	ctx, stop := supervise.SignalContext(context.Background(), jw)
+	defer stop()
 
 	viz, err := proxy.NewVizProxy(proxy.VizConfig{
 		Rank: *rank, Width: *width, Height: *height,
@@ -53,6 +79,8 @@ func main() {
 		ImagesPerStep: *images,
 		OutDir:        *out,
 		Operations:    operations,
+		CursorPath:    *cursor,
+		Journal:       jw,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -60,21 +88,53 @@ func main() {
 	if err := viz.EnsureOutDir(); err != nil {
 		log.Fatal(err)
 	}
-
-	conn, err := transport.Dial(*layout, *rank, *timeout)
-	if err != nil {
-		log.Fatalf("connecting to simulation proxy: %v", err)
+	if resumed := viz.NextStep(); resumed > 0 {
+		fmt.Printf("rank %d resuming at step %d (cursor %s)\n", *rank, resumed, *cursor)
 	}
-	defer conn.Close()
 
 	t0 := time.Now()
-	if err := viz.Receive(conn); err != nil {
-		log.Fatalf("receiving: %v", err)
+	var received int64
+	for attempt := 0; ; attempt++ {
+		conn, err := transport.DialBackoff(*layout, *rank, transport.Backoff{
+			Base: 50 * time.Millisecond, Max: time.Second,
+			Attempts: 20, LayoutWait: *timeout,
+		})
+		if err != nil {
+			log.Fatalf("connecting to simulation proxy: %v", err)
+		}
+		// A signal mid-receive closes the socket, which drains the
+		// in-flight step and unblocks the read.
+		unblock := make(chan struct{})
+		//lint:ignore nakedgo socket closer; Receive's error is handled below
+		go func() {
+			select {
+			case <-ctx.Done():
+				conn.Close()
+			case <-unblock:
+			}
+		}()
+		err = viz.Receive(conn)
+		close(unblock)
+		received += conn.BytesReceived
+		conn.Close()
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil {
+			jw.Sync()
+			log.Printf("rank %d drained at step %d", *rank, viz.NextStep())
+			os.Exit(supervise.ExitShutdown)
+		}
+		if attempt >= *reconnect {
+			log.Fatalf("receiving: %v (link lost %d times, budget %d)", err, attempt+1, *reconnect)
+		}
+		log.Printf("simulation peer lost at step %d (%v); reconnecting (%d/%d)",
+			viz.NextStep(), err, attempt+1, *reconnect)
 	}
 	wall := time.Since(t0)
 	fmt.Printf("rank %d done: %d steps, render %.2fs, wall %.2fs, received %.1f MB\n",
 		*rank, len(viz.Results), viz.TotalRenderTime().Seconds(), wall.Seconds(),
-		float64(conn.BytesReceived)/1e6)
+		float64(received)/1e6)
 	for _, r := range viz.Results {
 		fmt.Printf("  step %d: %d elements, %d images, %d primitives, %.3fs\n",
 			r.Step, r.Elements, r.Images, r.Primitives, r.Render.Seconds())

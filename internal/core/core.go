@@ -16,7 +16,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/ascr-ecx/eth/internal/blast"
@@ -31,6 +34,7 @@ import (
 	"github.com/ascr-ecx/eth/internal/proxy"
 	"github.com/ascr-ecx/eth/internal/render"
 	"github.com/ascr-ecx/eth/internal/sampling"
+	"github.com/ascr-ecx/eth/internal/supervise"
 	"github.com/ascr-ecx/eth/internal/telemetry"
 )
 
@@ -136,6 +140,21 @@ type MeasuredSpec struct {
 	// Policy is the socket-mode degradation policy (retry/skip budgets,
 	// deadlines, optional fault injection). Zero = fail on first error.
 	Policy coupling.Policy
+	// Ctx, when set, bounds a supervised run: cancellation drains the
+	// in-flight step and the run returns a shutdown-classified error.
+	// Nil means context.Background(). Unsupervised runs (Supervise nil)
+	// ignore it.
+	Ctx context.Context
+	// Supervise, when set, runs every proxy pair under a watchdog with
+	// this restart policy: a stalled, panicked, or crashed pair is torn
+	// down and restarted under the budget, resuming from its step cursor.
+	// Nil runs unsupervised (failures end the run).
+	Supervise *supervise.Config
+	// CursorDir, when set, persists each rank's visualization step cursor
+	// to CursorDir/rank<r>.ckpt. A fresh process pointed at the same
+	// directory resumes each pair after its last completed step instead
+	// of re-rendering from step 0.
+	CursorDir string
 }
 
 // Validate reports errors.
@@ -258,6 +277,11 @@ func RunMeasured(spec MeasuredSpec) (MeasuredResult, error) {
 		datasets[s] = ds
 	}
 
+	if spec.CursorDir != "" {
+		if err := os.MkdirAll(spec.CursorDir, 0o755); err != nil {
+			return MeasuredResult{}, fmt.Errorf("core: creating cursor dir: %w", err)
+		}
+	}
 	pairs := make([]coupling.PairSpec, ranks)
 	for r := 0; r < ranks; r++ {
 		sim, err := proxy.NewSimProxy(proxy.SimConfig{
@@ -271,6 +295,10 @@ func RunMeasured(spec MeasuredSpec) (MeasuredResult, error) {
 		if err != nil {
 			return MeasuredResult{}, err
 		}
+		cursorPath := ""
+		if spec.CursorDir != "" {
+			cursorPath = filepath.Join(spec.CursorDir, fmt.Sprintf("rank%d.ckpt", r))
+		}
 		viz, err := proxy.NewVizProxy(proxy.VizConfig{
 			Rank: r, Width: spec.Width, Height: spec.Height,
 			Algorithm:     spec.Algorithm,
@@ -279,6 +307,7 @@ func RunMeasured(spec MeasuredSpec) (MeasuredResult, error) {
 			OutDir:        spec.OutDir,
 			Operations:    spec.Operations,
 			Journal:       jw,
+			CursorPath:    cursorPath,
 		})
 		if err != nil {
 			return MeasuredResult{}, err
@@ -286,7 +315,11 @@ func RunMeasured(spec MeasuredSpec) (MeasuredResult, error) {
 		pairs[r] = coupling.PairSpec{Sim: sim, Viz: viz}
 	}
 
-	reports, err := coupling.RunPairsPolicy(pairs, spec.Mode, spec.LayoutPath, spec.Policy, jw)
+	ctx := spec.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	reports, err := coupling.RunPairsSupervised(ctx, pairs, spec.Mode, spec.LayoutPath, spec.Policy, spec.Supervise, jw)
 	if err != nil {
 		return MeasuredResult{}, err
 	}

@@ -9,6 +9,7 @@
 package coupling
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -18,6 +19,7 @@ import (
 	"github.com/ascr-ecx/eth/internal/faults"
 	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/proxy"
+	"github.com/ascr-ecx/eth/internal/supervise"
 	"github.com/ascr-ecx/eth/internal/telemetry"
 	"github.com/ascr-ecx/eth/internal/transport"
 )
@@ -71,13 +73,26 @@ type Report struct {
 // RunUnified executes sim and viz in-process: each step's dataset is
 // handed to the renderer directly, no serialization.
 func RunUnified(sim *proxy.SimProxy, viz *proxy.VizProxy) (Report, error) {
+	return RunUnifiedCtx(context.Background(), sim, viz)
+}
+
+// RunUnifiedCtx is RunUnified under a context: cancellation drains at
+// the next step boundary with an ErrShutdown-wrapped error. The loop
+// starts at the visualization proxy's step cursor, so a proxy restarted
+// after a contained panic (or re-created over a persistent CursorPath)
+// resumes instead of replaying completed steps.
+func RunUnifiedCtx(ctx context.Context, sim *proxy.SimProxy, viz *proxy.VizProxy) (Report, error) {
 	if err := viz.EnsureOutDir(); err != nil {
 		return Report{}, err
 	}
 	sp := telemetry.Default.StartSpan("coupling.unified")
 	defer sp.End()
 	t0 := time.Now()
-	for step := 0; step < sim.Steps(); step++ {
+	for step := viz.NextStep(); step < sim.Steps(); step++ {
+		if ctx.Err() != nil {
+			return Report{Wall: time.Since(t0), Steps: step, Viz: viz},
+				fmt.Errorf("coupling: unified pair drained before step %d: %w", step, supervise.ErrShutdown)
+		}
 		// The iteration body is a closure so the per-step child span is
 		// deferred-ended even when a step fails; an early return used to
 		// leak both spans and drop the step from the telemetry the
@@ -176,6 +191,20 @@ func RunSocketPair(sim *proxy.SimProxy, viz *proxy.VizProxy, layoutPath string, 
 // fails. Every decision is journaled: a retry event per reconnect, a
 // skip event per abandoned step, with a classified cause. jw may be nil.
 func RunSocketPairPolicy(sim *proxy.SimProxy, viz *proxy.VizProxy, layoutPath string, rank int, pol Policy, jw *journal.Writer) (Report, error) {
+	return runSocketPairPolicyCtx(context.Background(), sim, viz, layoutPath, rank, pol, jw, nil)
+}
+
+// runSocketPairPolicyCtx is the context-aware core of
+// RunSocketPairPolicy. Cancellation drains at the next reconnect
+// boundary (the simulation proxy's stop channel drains mid-stream at
+// the next step boundary) with an ErrShutdown-wrapped error. The resume
+// point is the visualization proxy's step cursor, so a freshly
+// restarted attempt over the same proxies — or over a CursorPath-backed
+// proxy in a new process — picks up where the last one stopped. When
+// reg is non-nil, the listener and every live connection register in it
+// so a supervisor's Interrupt can tear the attempt's I/O down from
+// outside.
+func runSocketPairPolicyCtx(ctx context.Context, sim *proxy.SimProxy, viz *proxy.VizProxy, layoutPath string, rank int, pol Policy, jw *journal.Writer, reg *connRegistry) (Report, error) {
 	if err := viz.EnsureOutDir(); err != nil {
 		return Report{}, err
 	}
@@ -188,6 +217,8 @@ func RunSocketPairPolicy(sim *proxy.SimProxy, viz *proxy.VizProxy, layoutPath st
 		return Report{}, err
 	}
 	defer ln.Close()
+	reg.add(ln)
+	sim.SetStop(ctx.Done())
 	viz.SetAllowGaps(pol.MaxSkips > 0)
 
 	bo := pol.Backoff
@@ -201,11 +232,16 @@ func RunSocketPairPolicy(sim *proxy.SimProxy, viz *proxy.VizProxy, layoutPath st
 	bo.Dial = pol.Faults.Dialer(baseDial)
 
 	rep := Report{Viz: viz}
-	resume := 0          // first step not yet acknowledged
-	retries := 0         // consecutive failures at the current resume step
-	stuck := -1          // resume step the retry count refers to
-	var bytesDone int64  // payload bytes from finished connections
+	resume := viz.NextStep() // first step not yet acknowledged
+	retries := 0             // consecutive failures at the current resume step
+	stuck := -1              // resume step the retry count refers to
+	var bytesDone int64      // payload bytes from finished connections
 	for {
+		if ctx.Err() != nil {
+			rep.Wall = time.Since(t0)
+			rep.BytesMoved = bytesDone
+			return rep, fmt.Errorf("coupling: pair %d drained at step %d: %w", rank, resume, supervise.ErrShutdown)
+		}
 		// Dial first: the listener's backlog holds the connection until the
 		// accept below, so a failed dial leaks nothing.
 		vconn, err := transport.DialBackoff(layoutPath, rank, bo)
@@ -216,15 +252,22 @@ func RunSocketPairPolicy(sim *proxy.SimProxy, viz *proxy.VizProxy, layoutPath st
 			vizErr = err
 			next = resume
 		} else {
+			reg.add(vconn)
 			if d, ok := ln.(deadliner); ok {
 				d.SetDeadline(time.Now().Add(10 * time.Second))
 			}
 			raw, aerr := ln.Accept()
 			if aerr != nil {
 				vconn.Close()
+				if ctx.Err() != nil {
+					rep.Wall = time.Since(t0)
+					rep.BytesMoved = bytesDone
+					return rep, fmt.Errorf("coupling: pair %d drained in accept: %w", rank, supervise.ErrShutdown)
+				}
 				return rep, fmt.Errorf("coupling: accepting pair %d: %w", rank, aerr)
 			}
 			sconn = transport.NewConn(pol.Faults.WrapAccepted(raw))
+			reg.add(sconn)
 			sconn.SetTimeouts(pol.IOTimeout, pol.IOTimeout)
 			sconn.SetMaxFrame(pol.MaxFrame)
 			vconn.SetTimeouts(pol.IOTimeout, pol.IOTimeout)
@@ -258,6 +301,17 @@ func RunSocketPairPolicy(sim *proxy.SimProxy, viz *proxy.VizProxy, layoutPath st
 			}
 		}
 
+		// A contained panic or a drain is not a transport failure: hand it
+		// straight back instead of burning the retry budget. The supervisor
+		// (if any) decides whether a panic warrants a restart; a drain ends
+		// the attempt.
+		for _, e := range []error{vizErr, simErr} {
+			if e != nil && (errors.Is(e, proxy.ErrPanic) || errors.Is(e, proxy.ErrStopped)) {
+				rep.Wall = time.Since(t0)
+				rep.BytesMoved = bytesDone
+				return rep, e
+			}
+		}
 		cause := classify(vizErr, simErr)
 		firstErr := vizErr
 		if firstErr == nil {

@@ -1,0 +1,181 @@
+package coupling
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/ascr-ecx/eth/internal/journal"
+	"github.com/ascr-ecx/eth/internal/proxy"
+	"github.com/ascr-ecx/eth/internal/supervise"
+	"github.com/ascr-ecx/eth/internal/telemetry"
+)
+
+// connRegistry tracks the listener and live connections of one
+// supervised pair so the watchdog's Interrupt can unblock a stalled
+// attempt from outside: Go cannot preempt a goroutine parked in a read,
+// but closing its socket can. A nil registry is a no-op (unsupervised
+// runs pay nothing).
+type connRegistry struct {
+	mu      sync.Mutex
+	closers []io.Closer
+}
+
+func (r *connRegistry) add(c io.Closer) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	r.closers = append(r.closers, c)
+	r.mu.Unlock()
+}
+
+// closeAll closes everything registered since the last call. Double
+// closes (the attempt's own deferred Close racing ours) are harmless.
+func (r *connRegistry) closeAll() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	cs := r.closers
+	r.closers = nil
+	r.mu.Unlock()
+	for _, c := range cs {
+		c.Close()
+	}
+}
+
+// asSupervised maps proxy-level failure classes onto the supervisor's
+// sentinels so restart events carry the right cause token: a contained
+// proxy panic becomes ErrPanicked, a drain becomes ErrShutdown.
+func asSupervised(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, proxy.ErrPanic):
+		return fmt.Errorf("%w: %w", err, supervise.ErrPanicked)
+	case errors.Is(err, proxy.ErrStopped):
+		return fmt.Errorf("%w: %w", err, supervise.ErrShutdown)
+	default:
+		return err
+	}
+}
+
+// RunSocketPairSupervised runs one socket-mode pair under a supervisor:
+// a stalled, panicked, or failed attempt is torn down (listener and
+// connections closed) and restarted under cfg's budget, resuming from
+// the visualization proxy's step cursor. Progress for the stall
+// watchdog is derived from the cursor and the journal length. The
+// returned report aggregates retries, skips, and bytes across all
+// attempts. cfg.Probe and cfg.Interrupt are derived here and must not
+// be set by the caller.
+func RunSocketPairSupervised(ctx context.Context, sim *proxy.SimProxy, viz *proxy.VizProxy, layoutPath string, rank int, pol Policy, cfg supervise.Config, jw *journal.Writer) (Report, error) {
+	reg := &connRegistry{}
+	if cfg.Role == "" {
+		cfg.Role = fmt.Sprintf("pair%d", rank)
+	}
+	if cfg.Journal == nil {
+		cfg.Journal = jw
+	}
+	cfg.Probe = func() int64 { return int64(viz.NextStep()) + int64(jw.Len()) }
+	cfg.Interrupt = reg.closeAll
+	t0 := time.Now()
+	agg := Report{Viz: viz}
+	err := supervise.New(cfg).Run(ctx, func(actx context.Context) error {
+		rep, rerr := runSocketPairPolicyCtx(actx, sim, viz, layoutPath, rank, pol, jw, reg)
+		agg.BytesMoved += rep.BytesMoved
+		agg.Retries += rep.Retries
+		agg.Skipped += rep.Skipped
+		agg.Steps = rep.Steps
+		return asSupervised(rerr)
+	})
+	agg.Wall = time.Since(t0)
+	if err != nil {
+		return agg, err
+	}
+	agg.Steps = sim.Steps()
+	return agg, nil
+}
+
+// RunUnifiedSupervised is RunUnifiedCtx under a supervisor: a contained
+// proxy panic restarts the pair, which resumes at the step cursor.
+func RunUnifiedSupervised(ctx context.Context, sim *proxy.SimProxy, viz *proxy.VizProxy, cfg supervise.Config, jw *journal.Writer) (Report, error) {
+	if cfg.Journal == nil {
+		cfg.Journal = jw
+	}
+	cfg.Probe = func() int64 { return int64(viz.NextStep()) + int64(jw.Len()) }
+	t0 := time.Now()
+	agg := Report{Viz: viz}
+	err := supervise.New(cfg).Run(ctx, func(actx context.Context) error {
+		rep, rerr := RunUnifiedCtx(actx, sim, viz)
+		agg.Steps = rep.Steps
+		return asSupervised(rerr)
+	})
+	agg.Wall = time.Since(t0)
+	if err != nil {
+		return agg, err
+	}
+	agg.Steps = sim.Steps()
+	return agg, nil
+}
+
+// RunPairsSupervised is RunPairsPolicy with every pair under its own
+// supervisor (role "pair<rank>"). sup carries the shared supervision
+// policy — budget, backoff, stall timeout; per-pair probes and
+// interrupts are derived per rank. A nil sup falls back to the
+// unsupervised driver.
+func RunPairsSupervised(ctx context.Context, pairs []PairSpec, mode Mode, layoutPath string, pol Policy, sup *supervise.Config, jw *journal.Writer) ([]Report, error) {
+	if sup == nil {
+		return RunPairsPolicy(pairs, mode, layoutPath, pol, jw)
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("coupling: no pairs")
+	}
+	if mode == Socket && layoutPath == "" {
+		return nil, fmt.Errorf("coupling: socket mode needs a layout path")
+	}
+	telemetry.Default.Gauge("coupling.active_pairs").Set(int64(len(pairs)))
+	reports := make([]Report, len(pairs))
+	errs := make([]error, len(pairs))
+	var wg sync.WaitGroup
+	wg.Add(len(pairs))
+	for i, p := range pairs {
+		go func(i int, p PairSpec) {
+			defer wg.Done()
+			jw.Emit(journal.Event{
+				Type: journal.TypePhase, Rank: i, Step: -1,
+				Detail: fmt.Sprintf("pair_start mode=%s supervised", mode),
+			})
+			scfg := *sup
+			scfg.Role = fmt.Sprintf("pair%d", i)
+			switch mode {
+			case Socket:
+				rankPol := pol
+				rankPol.Seed = pol.Seed + int64(i)
+				rankPol.Faults = pol.Faults.Clone(rankPol.Seed)
+				reports[i], errs[i] = RunSocketPairSupervised(ctx, p.Sim, p.Viz, layoutPath, i, rankPol, scfg, jw)
+			default:
+				reports[i], errs[i] = RunUnifiedSupervised(ctx, p.Sim, p.Viz, scfg, jw)
+			}
+			if errs[i] != nil {
+				jw.Error(i, -1, errs[i])
+			}
+			jw.Emit(journal.Event{
+				Type: journal.TypePhase, Rank: i, Step: -1,
+				DurNS: int64(reports[i].Wall), Bytes: reports[i].BytesMoved,
+				Detail: fmt.Sprintf("pair_end mode=%s steps=%d", mode, reports[i].Steps),
+			})
+		}(i, p)
+	}
+	wg.Wait()
+	telemetry.Default.Gauge("coupling.active_pairs").Set(0)
+	for _, err := range errs {
+		if err != nil {
+			return reports, err
+		}
+	}
+	return reports, nil
+}

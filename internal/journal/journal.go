@@ -13,7 +13,9 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -55,6 +57,15 @@ const (
 	// TypeResume records a connection resuming at a step after reconnect,
 	// including a duplicate re-sent step being re-acked without rendering.
 	TypeResume = "resume"
+	// TypeRestart records a supervised proxy being torn down and
+	// restarted; Detail carries "role=<role> attempt=<n>/<max> cause=<c>".
+	TypeRestart = "restart"
+	// TypeShutdown records a graceful shutdown decision (signal received,
+	// drain started, or a supervisor declining to restart after one).
+	TypeShutdown = "shutdown"
+	// TypeCheckpoint records durable progress being persisted: a viz
+	// cursor advancing, a sweep experiment completing, a run finishing.
+	TypeCheckpoint = "checkpoint"
 )
 
 // Phase names used by timed events. Breakdown sums event durations by
@@ -123,12 +134,53 @@ func New() *Writer { return &Writer{} }
 func NewWriter(w io.Writer) *Writer { return &Writer{out: w} }
 
 // Create returns a journal that mirrors events to a new file at path.
+// File-backed journals are deliberately unbuffered: each event is one
+// write syscall, so a crash — even kill -9 — loses at most the torn tail
+// of the final line, which Read tolerates.
 func Create(path string) (*Writer, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
-	return &Writer{out: bufio.NewWriter(f), file: f}, nil
+	return &Writer{out: f, file: f}, nil
+}
+
+// Append returns a journal that appends events to the file at path,
+// creating it if absent — the restart entry point: a supervised proxy
+// reopens its journal after a crash and the event stream continues where
+// the previous incarnation tore off. A torn final line (the previous
+// incarnation died mid-write) is truncated away first; appending after
+// it would otherwise glue the new event onto the partial line and turn
+// a tolerable torn tail into a hard parse error.
+func Append(path string) (*Writer, error) {
+	if err := repairTornTail(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	return &Writer{out: f, file: f}, nil
+}
+
+// repairTornTail truncates the file after its last complete
+// (newline-terminated) line. A missing file needs no repair.
+func repairTornTail(path string) error {
+	raw, err := os.ReadFile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: inspecting %s: %w", path, err)
+	}
+	keep := bytes.LastIndexByte(raw, '\n') + 1
+	if keep == len(raw) {
+		return nil
+	}
+	if err := os.Truncate(path, int64(keep)); err != nil {
+		return fmt.Errorf("journal: repairing torn tail of %s: %w", path, err)
+	}
+	return nil
 }
 
 // Emit appends one event, stamping T if unset. Safe for concurrent use
@@ -195,6 +247,30 @@ func (j *Writer) Err() error {
 	return j.err
 }
 
+// Sync flushes buffered output and fsyncs the backing file, making every
+// event emitted so far durable. Callers invoke it at step boundaries —
+// after an acked render, a checkpoint write, a restart decision — so the
+// on-disk journal is never more than one in-flight step behind. No-op
+// for memory journals and nil writers.
+func (j *Writer) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if bw, ok := j.out.(*bufio.Writer); ok {
+		if err := bw.Flush(); err != nil && j.err == nil {
+			j.err = fmt.Errorf("journal: flushing: %w", err)
+		}
+	}
+	if j.file != nil {
+		if err := j.file.Sync(); err != nil && j.err == nil {
+			j.err = fmt.Errorf("journal: syncing: %w", err)
+		}
+	}
+	return j.err
+}
+
 // Close flushes and closes the backing file (no-op for memory journals).
 func (j *Writer) Close() error {
 	if j == nil {
@@ -216,29 +292,52 @@ func (j *Writer) Close() error {
 	return j.err
 }
 
-// Read parses a JSONL journal stream. Blank lines are skipped; a malformed
-// line fails with its line number so truncated journals are diagnosable.
+// ErrTornTail is wrapped by Read/ReadFile when the final journal line is
+// a partial write — the signature a kill -9 leaves mid-event. Every
+// complete event is still returned, so crash-recovery tooling can do
+//
+//	events, err := journal.ReadFile(path)
+//	if err != nil && !errors.Is(err, journal.ErrTornTail) { ... }
+//
+// and treat a torn tail as a recoverable artifact of the crash rather
+// than a corrupt journal.
+var ErrTornTail = errors.New("journal: torn final line (partial write)")
+
+// Read parses a JSONL journal stream. Blank lines are skipped; a
+// malformed line fails with its line number so corrupt journals are
+// diagnosable — except a malformed *final* line with no trailing
+// newline, which is the torn tail of a crashed writer: every complete
+// event is returned along with an ErrTornTail-wrapped error.
 func Read(r io.Reader) ([]Event, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	br := bufio.NewReaderSize(r, 64*1024)
 	var events []Event
 	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+	for {
+		raw, err := br.ReadBytes('\n')
+		if err != nil && !errors.Is(err, io.EOF) {
+			return events, fmt.Errorf("journal: reading: %w", err)
 		}
-		var ev Event
-		if err := json.Unmarshal(raw, &ev); err != nil {
-			return events, fmt.Errorf("journal: line %d: %w", line, err)
+		atEOF := err != nil
+		terminated := len(raw) > 0 && raw[len(raw)-1] == '\n'
+		raw = bytes.TrimRight(raw, "\r\n")
+		if len(raw) > 0 {
+			line++
+			var ev Event
+			if uerr := json.Unmarshal(raw, &ev); uerr != nil {
+				if atEOF && !terminated {
+					// The writer emits each event as one json+newline write,
+					// so an unterminated, unparseable last line can only be a
+					// write cut short by a crash.
+					return events, fmt.Errorf("journal: line %d: %w", line, ErrTornTail)
+				}
+				return events, fmt.Errorf("journal: line %d: %w", line, uerr)
+			}
+			events = append(events, ev)
 		}
-		events = append(events, ev)
+		if atEOF {
+			return events, nil
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return events, fmt.Errorf("journal: reading: %w", err)
-	}
-	return events, nil
 }
 
 // ReadFile replays the journal at path.

@@ -1,7 +1,9 @@
 package journal
 
 import (
+	"bytes"
 	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -146,6 +148,186 @@ func TestReadSkipsBlankAndFlagsMalformed(t *testing.T) {
 		t.Error("malformed line accepted")
 	} else if !strings.Contains(err.Error(), "line 1") {
 		t.Errorf("error lacks line number: %v", err)
+	}
+}
+
+// TestTornTailTolerated byte-truncates a journal mid final line — the
+// exact artifact a kill -9 during a write leaves — and demands every
+// complete event back plus the ErrTornTail sentinel.
+func TestTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		j.Emit(Event{Type: TypeRender, Phase: PhaseRender, Rank: 0, Step: i, DurNS: 1})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Losing only the trailing newline leaves a complete, parseable
+	// event: not torn, all 5 events intact.
+	if err := os.WriteFile(path, raw[:len(raw)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if events, err := ReadFile(path); err != nil || len(events) != 5 {
+		t.Fatalf("newline-only truncation: %d events, err = %v", len(events), err)
+	}
+	// Tear the final line at every truncation point that leaves a partial
+	// write: from "two bytes of line 5 missing" down to "line 5 barely
+	// started". All must yield the 4 complete events plus the sentinel.
+	last := bytes.LastIndexByte(bytes.TrimRight(raw, "\n"), '\n') + 1
+	for cut := len(raw) - 2; cut > last; cut-- {
+		if err := os.WriteFile(path, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		events, err := ReadFile(path)
+		if !errors.Is(err, ErrTornTail) {
+			t.Fatalf("cut=%d: err = %v, want wrapped ErrTornTail", cut, err)
+		}
+		if len(events) != 4 {
+			t.Fatalf("cut=%d: recovered %d events, want 4", cut, len(events))
+		}
+		for i, ev := range events {
+			if ev.Step != i {
+				t.Fatalf("cut=%d: event %d has step %d", cut, i, ev.Step)
+			}
+		}
+	}
+	// A clean truncation at the line boundary is not torn: 4 events, nil.
+	if err := os.WriteFile(path, raw[:last], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadFile(path)
+	if err != nil || len(events) != 4 {
+		t.Fatalf("boundary truncation: %d events, err = %v", len(events), err)
+	}
+	// A malformed line in the middle (newline-terminated) is still a hard
+	// error: torn-tail tolerance must not mask real corruption.
+	bad := append(append([]byte{}, raw[:last]...), []byte("{corrupt}\n")...)
+	bad = append(bad, raw[last:]...)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil || errors.Is(err, ErrTornTail) {
+		t.Errorf("mid-file corruption: err = %v, want a hard parse error", err)
+	}
+}
+
+// TestAppendContinuesStream proves the restart path: a second writer
+// opened with Append extends the first incarnation's journal instead of
+// truncating it.
+func TestAppendContinuesStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j1, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.Emit(Event{Type: TypeRender, Step: 0})
+	j1.Emit(Event{Type: TypeRender, Step: 1})
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Append(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Emit(Event{Type: TypeRestart, Step: -1, Detail: "role=viz attempt=1/3 cause=kill"})
+	j2.Emit(Event{Type: TypeRender, Step: 2})
+	if err := j2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4", len(events))
+	}
+	if events[2].Type != TypeRestart || events[3].Step != 2 {
+		t.Errorf("appended events wrong: %+v", events[2:])
+	}
+}
+
+// TestAppendRepairsTornTail pins the restart-after-kill path: reopening
+// a journal whose final line was torn by a crash truncates the partial
+// line, so the resumed stream stays parseable end to end.
+func TestAppendRepairsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	j1, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.Emit(Event{Type: TypeRender, Step: 0})
+	j1.Emit(Event{Type: TypeRender, Step: 1})
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the last line mid-record, as a kill -9 mid-write would.
+	if err := os.WriteFile(path, raw[:len(raw)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Append(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Emit(Event{Type: TypeRender, Step: 1})
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("resumed journal unreadable: %v", err)
+	}
+	if len(events) != 2 || events[1].Step != 1 {
+		t.Fatalf("events = %+v, want torn step-1 line replaced by appended one", events)
+	}
+}
+
+func TestCheckpointRoundTripAndAtomicity(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	if _, err := ReadCheckpoint(path); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing checkpoint: err = %v, want wrapped os.ErrNotExist", err)
+	}
+	cp := Checkpoint{Step: 7, Done: []string{"table1", "fig8"}, Detail: "sweep"}
+	if err := WriteCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != 7 || !got.Has("fig8") || got.Has("fig9") || got.T.IsZero() {
+		t.Errorf("checkpoint = %+v", got)
+	}
+	// Overwrite must go through the temp+rename protocol: no temp residue
+	// and the new record fully replaces the old.
+	if err := WriteCheckpoint(path, Checkpoint{Step: 9}); err != nil {
+		t.Fatal(err)
+	}
+	got, err = ReadCheckpoint(path)
+	if err != nil || got.Step != 9 || len(got.Done) != 0 {
+		t.Errorf("rewritten checkpoint = %+v, err = %v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries (temp residue?), want 1", len(entries))
 	}
 }
 

@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SentinelErr enforces the repo's sentinel-error contract in internal
+// packages: error classification crosses package boundaries through
+// errors.Is against package-level sentinels, so
+//
+//   - errors.New must only appear in package-level sentinel
+//     declarations, never as an anonymous leaf inside a function body —
+//     an anonymous leaf can't be classified by any caller; and
+//   - a package-level sentinel must not be returned bare: wrap it with
+//     fmt.Errorf("...: %w", Err) so the caller gets call-site context
+//     (which step, which path) while errors.Is still matches.
+//
+// Deliberate exceptions (e.g. io.EOF-style protocol sentinels whose
+// identity IS the contract) carry //lint:ignore sentinelerr <reason>.
+var SentinelErr = &Analyzer{
+	Name: "sentinelerr",
+	Doc:  "internal packages return wrapped (%w) package sentinels, not bare errors.New leaves or naked sentinel returns",
+	Run:  runSentinelErr,
+}
+
+func runSentinelErr(pass *Pass) {
+	if !strings.Contains(pass.PkgPath, "/internal/") {
+		return
+	}
+	for _, file := range pass.Files {
+		walkStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if !isErrorsNew(pass, n) {
+					return true
+				}
+				if body, name := enclosingFunc(stack); body != nil {
+					pass.Reportf(n.Pos(),
+						"errors.New inside %s; declare a package-level sentinel (var ErrX = errors.New(...)) and wrap it with %%w", name)
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					id, ok := res.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if !isPackageSentinel(pass, id) {
+						continue
+					}
+					pass.Reportf(res.Pos(),
+						"sentinel %s returned bare; wrap with fmt.Errorf(\"...: %%w\", %s) so the caller gets context", id.Name, id.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isErrorsNew reports whether call is a call to errors.New.
+func isErrorsNew(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.FullName() == "errors.New"
+}
+
+// isPackageSentinel reports whether id names a package-level error
+// variable following the ErrX convention — the repo's sentinel shape.
+func isPackageSentinel(pass *Pass, id *ast.Ident) bool {
+	if !strings.HasPrefix(id.Name, "Err") || len(id.Name) < 4 {
+		return false
+	}
+	obj, ok := pass.Info.Uses[id].(*types.Var)
+	if !ok || obj.Parent() != pass.Pkg.Scope() {
+		return false
+	}
+	return implementsError(obj.Type())
+}

@@ -1,0 +1,89 @@
+package lint
+
+import "testing"
+
+const sentinelerrFixture = `package fix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrClosed = errors.New("fix: closed")
+var ErrBadMagic = errors.New("fix: bad magic")
+var errInternal = errors.New("fix: internal")
+
+func bareReturn() error {
+	return ErrClosed // want "returned bare"
+}
+
+func bareSecondResult() (int, error) {
+	return 0, ErrBadMagic // want "returned bare"
+}
+
+func wrappedReturn() error {
+	return fmt.Errorf("fix: stream torn down: %w", ErrClosed)
+}
+
+func leafInBody() error {
+	return errors.New("fix: anonymous leaf") // want "package-level sentinel"
+}
+
+func leafInLiteral() error {
+	f := func() error {
+		return errors.New("fix: nested leaf") // want "package-level sentinel"
+	}
+	return f()
+}
+
+func unexportedSentinelOK() error {
+	// Unexported sentinels follow the same naming but a bare return of a
+	// lowercase one is its own package's business.
+	return errInternal
+}
+
+func notASentinel() error {
+	var ErrLocal error
+	return ErrLocal
+}
+
+func deliberateProtocolSentinel() error {
+	//lint:ignore sentinelerr identity is the protocol contract, like io.EOF
+	return ErrClosed
+}
+
+func passThrough(err error) error {
+	return err
+}
+`
+
+// sentinelerrOutsideFixture proves the analyzer only polices internal
+// packages: the same violations under a non-internal path are silent.
+const sentinelerrOutsideFixture = `package fix
+
+import "errors"
+
+var ErrClosed = errors.New("fix: closed")
+
+func bareReturn() error {
+	return ErrClosed
+}
+
+func leafInBody() error {
+	return errors.New("fix: anonymous leaf")
+}
+`
+
+func TestSentinelErr(t *testing.T) {
+	res := runFixture(t, SentinelErr, "example.com/mod/internal/fix", sentinelerrFixture)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	}
+}
+
+func TestSentinelErrIgnoresNonInternal(t *testing.T) {
+	res := runFixture(t, SentinelErr, "example.com/mod/fix", sentinelerrOutsideFixture)
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("diagnostics outside internal/ = %v, want none", res.Diagnostics)
+	}
+}

@@ -1,0 +1,40 @@
+package proxy
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"github.com/ascr-ecx/eth/internal/journal"
+)
+
+// ErrPanic is wrapped when a proxy worker panicked and the panic was
+// contained: journaled with its stack and converted into an error the
+// supervisor treats as a restartable failure instead of a process
+// crash.
+var ErrPanic = errors.New("proxy: worker panicked")
+
+// ErrStopped is wrapped when a serve loop drained at a step boundary
+// because its stop channel fired (graceful shutdown). The in-flight
+// step completes; the next one is never started.
+var ErrStopped = errors.New("proxy: serve stopped")
+
+// containPanic is the deferred panic barrier for proxy workers: a panic
+// in a render, analysis, or data-preparation path is recovered,
+// journaled as an error event carrying the stack, fsynced (the panic
+// may be the last thing this incarnation does), and surfaced through
+// *errp as an ErrPanic-wrapped error.
+func containPanic(jw *journal.Writer, rank, step int, role string, errp *error) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	stack := debug.Stack()
+	jw.Emit(journal.Event{
+		Type: journal.TypeError, Rank: rank, Step: step,
+		Detail: fmt.Sprintf("role=%s panic contained", role),
+		Err:    fmt.Sprintf("panic: %v\n%s", v, stack),
+	})
+	jw.Sync()
+	*errp = fmt.Errorf("proxy: %s step %d: panic: %v: %w", role, step, v, ErrPanic)
+}

@@ -128,7 +128,15 @@ type SimConfig struct {
 type SimProxy struct {
 	cfg SimConfig
 	src StepSource
+	// stop, when set, drains the serve loop at the next step boundary
+	// (graceful shutdown: the in-flight step completes and is acked).
+	stop <-chan struct{}
 }
+
+// SetStop installs a drain channel: when it fires, ServeFrom finishes
+// the step it is on and returns an ErrStopped-wrapped error instead of
+// starting the next step. Typically wired to a context's Done channel.
+func (s *SimProxy) SetStop(ch <-chan struct{}) { s.stop = ch }
 
 // NewSimProxy creates a simulation proxy over the given source.
 func NewSimProxy(cfg SimConfig, src StepSource) (*SimProxy, error) {
@@ -154,7 +162,8 @@ func (s *SimProxy) Steps() int { return s.src.Steps() }
 // interface for step i: the rank's spatial piece, spatially sampled. The
 // fetch is journaled under the generate phase, partition + sampling under
 // the sample phase.
-func (s *SimProxy) StepData(i int) (data.Dataset, error) {
+func (s *SimProxy) StepData(i int) (_ data.Dataset, err error) {
+	defer containPanic(s.cfg.Journal, s.cfg.Rank, i, "sim", &err)
 	t0 := time.Now()
 	ds, err := s.src.Step(i)
 	if err != nil {
@@ -242,6 +251,13 @@ func (s *SimProxy) ServeFrom(conn *transport.Conn, from int) (next int, bytes in
 	conn.Rank = s.cfg.Rank
 	next = from
 	for step := from; step < s.Steps(); step++ {
+		if s.stop != nil {
+			select {
+			case <-s.stop:
+				return next, conn.BytesSent, fmt.Errorf("proxy: serve drained before step %d: %w", step, ErrStopped)
+			default:
+			}
+		}
 		conn.Step = step
 		ds, err := s.StepData(step)
 		if err != nil {

@@ -1,9 +1,11 @@
 package proxy
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"os"
+	"sync/atomic"
 	"path/filepath"
 	"time"
 
@@ -43,6 +45,12 @@ type VizConfig struct {
 	// received dataset after rendering (§III "easily configurable
 	// visualization operations").
 	Operations []Operation
+	// CursorPath, when non-empty, persists the step cursor as an
+	// atomically-replaced checkpoint file: the cursor is loaded at
+	// construction and rewritten after every completed step, so a
+	// restarted incarnation resumes at the first unfinished step instead
+	// of replaying the run.
+	CursorPath string
 	// Journal, when set, receives one event per render, analysis
 	// operation, wire transfer, and error.
 	Journal *journal.Writer
@@ -74,8 +82,10 @@ type VizProxy struct {
 	scratch *fb.Frame
 	// next is the first step not yet rendered+acked; it persists across
 	// Receive calls so a reconnected sender resuming at an earlier step is
-	// recognized (the duplicate is re-acked without rendering).
-	next int
+	// recognized (the duplicate is re-acked without rendering). Atomic
+	// because a supervisor's stall watchdog probes it from outside the
+	// serving goroutine.
+	next atomic.Int64
 	// allowGaps permits the wire step to jump past next (a step the
 	// degradation policy skipped on the sender side).
 	allowGaps bool
@@ -98,15 +108,30 @@ func NewVizProxy(cfg VizConfig) (*VizProxy, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &VizProxy{cfg: cfg, renderer: r}, nil
+	v := &VizProxy{cfg: cfg, renderer: r}
+	if cfg.CursorPath != "" {
+		cp, err := journal.ReadCheckpoint(cfg.CursorPath)
+		switch {
+		case err == nil:
+			if cp.Step > 0 {
+				v.next.Store(int64(cp.Step))
+			}
+		case errors.Is(err, os.ErrNotExist):
+			// No checkpoint yet: fresh start.
+		default:
+			return nil, fmt.Errorf("proxy: loading step cursor: %w", err)
+		}
+	}
+	return v, nil
 }
 
 // RenderStep renders one received dataset: ImagesPerStep frames with the
 // camera orbiting the data (matching the paper's many-images-per-step
 // protocol) and, for isosurface algorithms, a sliding isovalue.
-func (v *VizProxy) RenderStep(step int, ds data.Dataset) (StepResult, error) {
+func (v *VizProxy) RenderStep(step int, ds data.Dataset) (res StepResult, err error) {
+	defer containPanic(v.cfg.Journal, v.cfg.Rank, step, "viz", &err)
 	t0 := time.Now()
-	res := StepResult{Step: step, Elements: ds.Count(), Images: v.cfg.ImagesPerStep}
+	res = StepResult{Step: step, Elements: ds.Count(), Images: v.cfg.ImagesPerStep}
 	bounds := ds.Bounds()
 	imgHist := telemetry.Default.Histogram("viz.render." + v.cfg.Algorithm)
 	frame := v.scratch
@@ -181,6 +206,26 @@ func (v *VizProxy) RenderStep(step int, ds data.Dataset) (StepResult, error) {
 	v.Results = append(v.Results, res)
 	ctrSteps.Inc()
 	ctrImages.Add(int64(res.Images))
+	// The step is complete: advance the cursor (RenderStep is also called
+	// directly by the tight-coupling driver, which resumes from NextStep)
+	// and persist it so a restarted incarnation skips this step. The
+	// journal is fsynced at the same boundary — the crash-safety contract
+	// is "at most the in-flight step is lost".
+	if int64(step+1) > v.next.Load() {
+		v.next.Store(int64(step + 1))
+	}
+	if v.cfg.CursorPath != "" {
+		cp := journal.Checkpoint{Step: v.NextStep(), Detail: fmt.Sprintf("rank=%d", v.cfg.Rank)}
+		if cerr := journal.WriteCheckpoint(v.cfg.CursorPath, cp); cerr != nil {
+			v.cfg.Journal.Error(v.cfg.Rank, step, cerr)
+			return res, cerr
+		}
+		v.cfg.Journal.Emit(journal.Event{
+			Type: journal.TypeCheckpoint, Rank: v.cfg.Rank, Step: step,
+			Detail: fmt.Sprintf("cursor=%d path=%s", v.NextStep(), filepath.Base(v.cfg.CursorPath)),
+		})
+		v.cfg.Journal.Sync()
+	}
 	return res, nil
 }
 
@@ -222,7 +267,8 @@ func maxInt(a, b int) int {
 func (v *VizProxy) SetAllowGaps(on bool) { v.allowGaps = on }
 
 // NextStep returns the first step not yet rendered and acknowledged.
-func (v *VizProxy) NextStep() int { return v.next }
+// Safe to call from a watchdog goroutine while the proxy is serving.
+func (v *VizProxy) NextStep() int { return int(v.next.Load()) }
 
 // Receive runs the §III-C visualization-proxy protocol over an
 // established connection: receive datasets, render, ack, until done. The
@@ -239,49 +285,50 @@ func (v *VizProxy) Receive(conn *transport.Conn) error {
 	// connection can decode every step into the previous step's arrays.
 	conn.SetDatasetReuse(true)
 	for {
-		conn.Step = v.next
+		next := v.NextStep()
+		conn.Step = next
 		typ, ds, wireStep, err := conn.Recv()
 		if err != nil {
-			v.cfg.Journal.Error(v.cfg.Rank, v.next, err)
-			return fmt.Errorf("proxy: receiving step %d: %w", v.next, err)
+			v.cfg.Journal.Error(v.cfg.Rank, next, err)
+			return fmt.Errorf("proxy: receiving step %d: %w", next, err)
 		}
 		switch typ {
 		case transport.MsgDone:
 			return nil
 		case transport.MsgDataset:
 			step := int(wireStep)
-			if step < v.next {
+			if step < next {
 				// Duplicate of a step already rendered: the sender never saw
 				// our ack (connection died in between). Re-ack, don't re-render.
 				v.cfg.Journal.Emit(journal.Event{
 					Type: journal.TypeResume, Phase: journal.PhaseTransport,
 					Rank: v.cfg.Rank, Step: step,
-					Detail: fmt.Sprintf("duplicate step %d re-acked, next=%d", step, v.next),
+					Detail: fmt.Sprintf("duplicate step %d re-acked, next=%d", step, next),
 				})
 				if err := conn.SendAck(wireStep); err != nil {
 					return err
 				}
 				continue
 			}
-			if step > v.next {
+			if step > next {
 				if !v.allowGaps {
-					return fmt.Errorf("proxy: step gap: received %d, expected %d", step, v.next)
+					return fmt.Errorf("proxy: step gap: received %d, expected %d", step, next)
 				}
 				v.cfg.Journal.Emit(journal.Event{
 					Type: journal.TypeResume, Phase: journal.PhaseTransport,
 					Rank: v.cfg.Rank, Step: step,
-					Detail: fmt.Sprintf("gap accepted: %d..%d skipped", v.next, step-1),
+					Detail: fmt.Sprintf("gap accepted: %d..%d skipped", next, step-1),
 				})
 			}
+			// RenderStep advances the cursor on success.
 			if _, err := v.RenderStep(step, ds); err != nil {
 				return err
 			}
 			if err := conn.SendAck(wireStep); err != nil {
 				return err
 			}
-			v.next = step + 1
 		default:
-			return fmt.Errorf("proxy: unexpected message type %d at step %d", typ, v.next)
+			return fmt.Errorf("proxy: unexpected message type %d at step %d", typ, next)
 		}
 	}
 }

@@ -1,0 +1,67 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/ascr-ecx/eth/internal/journal"
+)
+
+// SignalContext derives a context that is canceled on the first SIGINT
+// or SIGTERM, giving the run a chance to drain its in-flight step,
+// flush, and exit with ExitShutdown. A second signal is a hard abort:
+// the journal is synced best-effort and the process exits immediately
+// with ExitAbort. Both signals are journaled as shutdown events. The
+// returned stop function releases the signal handler (restoring default
+// signal disposition) and should be deferred.
+func SignalContext(parent context.Context, jw *journal.Writer) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, syscall.SIGINT, syscall.SIGTERM)
+	//lint:ignore nakedgo signal handler reports through ctx cancellation and os.Exit, not an error channel
+	go func() {
+		defer signal.Stop(ch)
+		select {
+		case sig := <-ch:
+			jw.Emit(journal.Event{
+				Type: journal.TypeShutdown, Rank: -1, Step: -1,
+				Detail: fmt.Sprintf("signal=%v draining (repeat to abort)", sig),
+			})
+			jw.Sync()
+			cancel()
+		case <-ctx.Done():
+			return
+		}
+		select {
+		case sig := <-ch:
+			jw.Emit(journal.Event{
+				Type: journal.TypeShutdown, Rank: -1, Step: -1,
+				Detail: fmt.Sprintf("signal=%v hard abort", sig),
+			})
+			jw.Sync()
+			os.Exit(ExitAbort)
+		case <-parent.Done():
+		}
+	}()
+	return ctx, cancel
+}
+
+// ExitCode maps a run error to the harness's exit-code contract:
+// nil→0, shutdown→ExitShutdown, exhausted restart budget→ExitBudget,
+// anything else→1.
+func ExitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, ErrShutdown), errors.Is(err, context.Canceled):
+		return ExitShutdown
+	case errors.Is(err, ErrRestartBudget):
+		return ExitBudget
+	default:
+		return 1
+	}
+}

@@ -236,7 +236,7 @@ func (c *Conn) readErr(err error) error {
 		return fmt.Errorf("transport: read deadline (%v) expired: %w", c.readTimeout, ErrTimeout)
 	}
 	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
-		return ErrClosed
+		return fmt.Errorf("transport: peer closed the stream mid-read: %w", ErrClosed)
 	}
 	return err
 }

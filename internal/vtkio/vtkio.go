@@ -346,7 +346,7 @@ func (d *decoder) read(prev data.Dataset) (data.Dataset, error) {
 		return nil, fmt.Errorf("vtkio: reading magic: %w", err)
 	}
 	if [4]byte(d.tmp[:4]) != magic {
-		return nil, ErrBadMagic
+		return nil, fmt.Errorf("%w: got % x", ErrBadMagic, d.tmp[:4])
 	}
 	ver, err := d.u16()
 	if err != nil {

@@ -16,6 +16,12 @@ go run ./cmd/ethlint ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# Supervision chaos: run the process-level suite (subprocess SIGKILL,
+# watchdog teardown, panic restart) by name so a rename that silently
+# drops a chaos test from the default run fails loudly here.
+echo "== go test -race -run 'TestProc|TestSupervised' ./internal/supervise ./internal/coupling"
+go test -race -run 'TestProc|TestSupervised' ./internal/supervise/ ./internal/coupling/
+
 echo "== go test -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio"
 go test -run='^$' -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio/
 
