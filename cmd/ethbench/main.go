@@ -41,6 +41,7 @@ import (
 	"github.com/ascr-ecx/eth/internal/experiments"
 	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/metrics"
+	"github.com/ascr-ecx/eth/internal/obs"
 	"github.com/ascr-ecx/eth/internal/supervise"
 	"github.com/ascr-ecx/eth/internal/telemetry"
 )
@@ -58,6 +59,7 @@ func main() {
 	noTiming := flag.Bool("notiming", false, "suppress per-experiment timing and the telemetry summary")
 	ckptPath := flag.String("checkpoint", "", "record each completed experiment in this checkpoint file")
 	resume := flag.Bool("resume", false, "skip experiments the -checkpoint file records as complete")
+	obsAddr := flag.String("obs", "", "serve live observability (/metrics /healthz) on this address for the whole sweep")
 	flag.Parse()
 
 	if *resume && *ckptPath == "" {
@@ -124,8 +126,24 @@ func main() {
 		defer stop()
 	}
 
+	// A long overnight sweep can be watched live: the obs server spans
+	// every experiment, and the run label tracks the one in flight.
+	var srv *obs.Server
+	if *obsAddr != "" {
+		var err error
+		srv, err = obs.Start(obs.Config{Addr: *obsAddr, Role: "bench"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("obs: serving %s/metrics\n", srv.URL())
+	}
+
 	telemetry.Default.Reset()
 	for _, id := range order {
+		if srv != nil {
+			srv.SetRun(id)
+		}
 		if ckpt.Has(id) {
 			fmt.Printf("==== %s ==== (complete in %s, skipped)\n\n", strings.ToUpper(id), *ckptPath)
 			continue

@@ -11,9 +11,15 @@
 //	ethinfo data/hacc_step000.ethd
 //	ethinfo -vtk out.vtk data/xrage_step000.ethd
 //	ethinfo -journal trace.jsonl
+//	ethinfo -journal -json trace.jsonl | jq .breakdown
+//
+// -json switches both modes to machine-readable output: one JSON
+// document per argument, so audits and dataset inventories can feed
+// scripts and dashboards without scraping the table layout.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,13 +39,14 @@ func main() {
 	log.SetPrefix("ethinfo: ")
 	vtkOut := flag.String("vtk", "", "also export as ASCII legacy VTK to this path")
 	journalMode := flag.Bool("journal", false, "treat arguments as JSONL run journals and audit them")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal("usage: ethinfo [-vtk out.vtk] file.ethd ...  |  ethinfo -journal trace.jsonl ...")
+		log.Fatal("usage: ethinfo [-json] [-vtk out.vtk] file.ethd ...  |  ethinfo -journal [-json] trace.jsonl ...")
 	}
 	if *journalMode {
 		for _, path := range flag.Args() {
-			if err := auditJournal(path); err != nil {
+			if err := auditJournal(path, *jsonOut); err != nil {
 				log.Fatalf("%s: %v", path, err)
 			}
 		}
@@ -50,14 +57,29 @@ func main() {
 		if err != nil {
 			log.Fatalf("%s: %v", path, err)
 		}
-		describe(path, ds)
+		if *jsonOut {
+			if err := writeJSON(describeJSON(path, ds)); err != nil {
+				log.Fatal(err)
+			}
+		} else {
+			describe(path, ds)
+		}
 		if *vtkOut != "" {
 			if err := vtkio.ExportLegacyVTKFile(*vtkOut, ds, path); err != nil {
 				log.Fatalf("exporting %s: %v", *vtkOut, err)
 			}
-			fmt.Printf("  exported %s\n", *vtkOut)
+			if !*jsonOut {
+				fmt.Printf("  exported %s\n", *vtkOut)
+			}
 		}
 	}
+}
+
+// writeJSON emits one indented JSON document on stdout.
+func writeJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
 }
 
 func describe(path string, ds data.Dataset) {
@@ -88,17 +110,112 @@ func printFields(fields []data.Field) {
 	}
 }
 
+// datasetInfo is the machine-readable form of describe.
+type datasetInfo struct {
+	Path   string        `json:"path"`
+	Kind   string        `json:"kind"`
+	Bounds [2][3]float64 `json:"bounds"`
+	Bytes  int64         `json:"bytes"`
+	Count  int           `json:"count"`
+	Cells  int           `json:"cells,omitempty"`
+	Dims   []int         `json:"dims,omitempty"`
+	Fields []fieldInfo   `json:"fields"`
+}
+
+type fieldInfo struct {
+	Name string  `json:"name"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+func describeJSON(path string, ds data.Dataset) datasetInfo {
+	b := ds.Bounds()
+	info := datasetInfo{
+		Path: path,
+		Kind: fmt.Sprintf("%v", ds.Kind()),
+		Bounds: [2][3]float64{
+			{b.Min.X, b.Min.Y, b.Min.Z},
+			{b.Max.X, b.Max.Y, b.Max.Z},
+		},
+		Bytes: ds.Bytes(),
+		Count: ds.Count(),
+	}
+	var fields []data.Field
+	switch d := ds.(type) {
+	case *data.PointCloud:
+		fields = d.Fields
+	case *data.StructuredGrid:
+		info.Cells = d.Cells()
+		info.Dims = []int{d.NX, d.NY, d.NZ}
+		fields = d.Fields
+	case *data.UnstructuredGrid:
+		info.Cells = d.Cells()
+		fields = d.Fields
+	}
+	info.Fields = make([]fieldInfo, 0, len(fields))
+	for _, f := range fields {
+		lo, hi := f.MinMax()
+		info.Fields = append(info.Fields, fieldInfo{Name: f.Name, Min: float64(lo), Max: float64(hi)})
+	}
+	return info
+}
+
+// journalAudit is the machine-readable form of auditJournal.
+type journalAudit struct {
+	Path      string             `json:"path"`
+	TornTail  bool               `json:"torn_tail,omitempty"`
+	Events    int                `json:"events"`
+	Run       string             `json:"run,omitempty"`
+	Started   string             `json:"started,omitempty"`
+	WallSec   float64            `json:"wall_seconds"`
+	ByType    map[string]int     `json:"events_by_type"`
+	Restarts  []restartAudit     `json:"restarts,omitempty"`
+	Breakdown map[string]float64 `json:"breakdown_seconds"`
+	// Durations holds per-event-type latency quantiles reconstructed
+	// from the journal's recorded durations.
+	Durations []durationAudit `json:"durations,omitempty"`
+	Errors    []errorAudit    `json:"errors,omitempty"`
+}
+
+type durationAudit struct {
+	Type     string  `json:"type"`
+	Count    int     `json:"count"`
+	TotalSec float64 `json:"total_seconds"`
+	P50Sec   float64 `json:"p50_seconds"`
+	P95Sec   float64 `json:"p95_seconds"`
+	P99Sec   float64 `json:"p99_seconds"`
+}
+
+type restartAudit struct {
+	Role     string `json:"role"`
+	Restarts int    `json:"restarts"`
+	Causes   string `json:"causes"`
+}
+
+type errorAudit struct {
+	Rank int    `json:"rank"`
+	Step int    `json:"step"`
+	Err  string `json:"err"`
+}
+
 // auditJournal replays a JSONL run journal: run metadata, wall time,
 // event counts by type, the reconstructed per-phase time breakdown, and
-// any recorded errors.
-func auditJournal(path string) error {
+// any recorded errors. With jsonOut the same audit is emitted as one
+// JSON document instead of tables.
+func auditJournal(path string, jsonOut bool) error {
 	events, err := journal.ReadFile(path)
-	if errors.Is(err, journal.ErrTornTail) {
+	torn := errors.Is(err, journal.ErrTornTail)
+	if torn {
 		// A crash mid-write leaves at most one torn final line; the clean
 		// prefix is still a valid audit subject.
-		fmt.Printf("warning: %s has a torn final line (crash mid-write); auditing the clean prefix\n", path)
+		if !jsonOut {
+			fmt.Printf("warning: %s has a torn final line (crash mid-write); auditing the clean prefix\n", path)
+		}
 	} else if err != nil {
 		return err
+	}
+	if jsonOut {
+		return writeJSON(buildAudit(path, events, torn))
 	}
 	fmt.Printf("%s:\n", path)
 	fmt.Printf("  events   %d\n", len(events))
@@ -162,6 +279,79 @@ func auditJournal(path string) error {
 		}
 	}
 	return nil
+}
+
+// buildAudit assembles the JSON audit from the same replays the table
+// printer uses, so the two outputs cannot drift apart.
+func buildAudit(path string, events []journal.Event, torn bool) journalAudit {
+	a := journalAudit{
+		Path:      path,
+		TornTail:  torn,
+		Events:    len(events),
+		WallSec:   journal.Wall(events).Seconds(),
+		ByType:    journal.CountByType(events),
+		Breakdown: map[string]float64{},
+	}
+	for _, ev := range events {
+		if ev.Type == journal.TypeRunStart {
+			a.Run = ev.Detail
+			a.Started = ev.T.Format("2006-01-02T15:04:05Z07:00")
+			break
+		}
+	}
+	roles, causes := restartsByRole(events)
+	for _, role := range sortedKeys(roles) {
+		a.Restarts = append(a.Restarts, restartAudit{Role: role, Restarts: roles[role], Causes: causes[role]})
+	}
+	breakdown := journal.Breakdown(events)
+	for _, name := range journal.PhaseNames(events) {
+		a.Breakdown[name] = breakdown[name].Seconds()
+	}
+	a.Durations = durationQuantiles(events)
+	for _, ev := range journal.Errors(events) {
+		a.Errors = append(a.Errors, errorAudit{Rank: ev.Rank, Step: ev.Step, Err: ev.Err})
+	}
+	return a
+}
+
+// durationQuantiles reconstructs per-event-type latency quantiles from
+// the durations the journal recorded — the post-hoc equivalent of the
+// live /metrics span summaries.
+func durationQuantiles(events []journal.Event) []durationAudit {
+	byType := map[string][]int64{}
+	for _, ev := range events {
+		if ev.DurNS > 0 {
+			byType[ev.Type] = append(byType[ev.Type], ev.DurNS)
+		}
+	}
+	var out []durationAudit
+	for _, ty := range sortedKeys(mapLen(byType)) {
+		ds := byType[ty]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		var total int64
+		for _, d := range ds {
+			total += d
+		}
+		q := func(p float64) float64 {
+			i := int(p * float64(len(ds)-1))
+			return float64(ds[i]) / 1e9
+		}
+		out = append(out, durationAudit{
+			Type: ty, Count: len(ds), TotalSec: float64(total) / 1e9,
+			P50Sec: q(0.5), P95Sec: q(0.95), P99Sec: q(0.99),
+		})
+	}
+	return out
+}
+
+// mapLen projects a slice-valued map to its lengths, so sortedKeys can
+// order its keys.
+func mapLen[T any](m map[string][]T) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = len(v)
+	}
+	return out
 }
 
 // restartsByRole tallies restart events per supervised role, collecting

@@ -37,6 +37,7 @@ import (
 	"github.com/ascr-ecx/eth/internal/faults"
 	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/layout"
+	"github.com/ascr-ecx/eth/internal/obs"
 	"github.com/ascr-ecx/eth/internal/render"
 	"github.com/ascr-ecx/eth/internal/sampling"
 	"github.com/ascr-ecx/eth/internal/supervise"
@@ -53,6 +54,7 @@ func main() {
 
 	// Observability flags.
 	trace := flag.String("trace", "", "write the run journal (JSONL) to this file")
+	obsAddr := flag.String("obs", "", "serve live observability (/metrics /healthz /events /trace) on this address while the run executes")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 
@@ -99,7 +101,7 @@ func main() {
 	stopProfiles := startProfiles(*cpuprofile, *memprofile)
 	switch {
 	case *specFile != "":
-		runSpec(*specFile, *trace)
+		runSpec(*specFile, *trace, *obsAddr)
 	case *modeled:
 		runModeled(*algorithm, *nodes, *elements, *ratio, *pixels, *imagesPerStep, *timeSteps, *calibrated)
 	default:
@@ -109,7 +111,7 @@ func main() {
 			algorithm: *algorithm, ranks: *ranks,
 			width: *width, height: *height, images: *imagesM,
 			mode: *mode, ratio: *ratio, method: *method, out: *out,
-			trace: *trace,
+			trace: *trace, obsAddr: *obsAddr,
 			faultsFile: *faultsFile, faultSeed: *faultSeed,
 			retries: *retries, skips: *skips, ioTimeout: *ioTimeout,
 			watchdog: *watchdog, maxRestarts: *maxRestarts, resume: *resume,
@@ -176,9 +178,24 @@ func reportMeasured(res core.MeasuredResult, jw *journal.Writer, tracePath strin
 	}
 }
 
+// startObs boots the live observability server when -obs was given and
+// returns it (nil otherwise). run labels the exposed metrics; jw feeds
+// /events and /trace.
+func startObs(addr, role, run string, jw *journal.Writer) *obs.Server {
+	if addr == "" {
+		return nil
+	}
+	srv, err := obs.Start(obs.Config{Addr: addr, Role: role, Run: run, Journal: jw})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("obs: serving %s/metrics\n", srv.URL())
+	return srv
+}
+
 // runSpec executes a job-layout file (§VII: "the user simply changes the
 // job layout file").
-func runSpec(path, tracePath string) {
+func runSpec(path, tracePath, obsAddr string) {
 	spec, err := layout.Load(path)
 	if err != nil {
 		log.Fatal(err)
@@ -194,6 +211,12 @@ func runSpec(path, tracePath string) {
 	}
 	jw := openTrace(tracePath)
 	mspec.Journal = jw
+	if srv := startObs(obsAddr, "run", spec.Name, jw); srv != nil {
+		defer srv.Close()
+		if mspec.Supervise != nil {
+			mspec.Supervise.Observer = srv.Health()
+		}
+	}
 	res, err := core.RunMeasured(mspec)
 	if err != nil {
 		log.Fatal(err)
@@ -217,6 +240,7 @@ type measuredArgs struct {
 	ratio                  float64
 	method, out            string
 	trace                  string
+	obsAddr                string
 	faultsFile             string
 	faultSeed              int64
 	retries, skips         int
@@ -345,6 +369,14 @@ func runMeasured(a measuredArgs) {
 		ctx, stop := supervise.SignalContext(context.Background(), jw)
 		defer stop()
 		spec.Ctx = ctx
+	}
+	if srv := startObs(a.obsAddr, "run", wl.Name, jw); srv != nil {
+		defer srv.Close()
+		if spec.Supervise != nil {
+			// The obs health tracker observes every pair's watchdog, which is
+			// what makes /healthz and /readyz report live supervision state.
+			spec.Supervise.Observer = srv.Health()
+		}
 	}
 	res, err := core.RunMeasured(spec)
 	if err != nil {

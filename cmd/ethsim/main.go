@@ -22,6 +22,8 @@ import (
 	"log"
 	"os"
 
+	"github.com/ascr-ecx/eth/internal/journal"
+	"github.com/ascr-ecx/eth/internal/obs"
 	"github.com/ascr-ecx/eth/internal/proxy"
 	"github.com/ascr-ecx/eth/internal/sampling"
 	"github.com/ascr-ecx/eth/internal/supervise"
@@ -42,6 +44,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "sampling seed")
 	compress := flag.Bool("compress", false, "DEFLATE-compress datasets on the wire")
 	maxRestarts := flag.Int("max-restarts", 0, "visualization-peer reconnections to survive, resuming each at the first unacknowledged step")
+	obsAddr := flag.String("obs", "", "serve live observability (/metrics /healthz /events /trace) on this address")
 	flag.Parse()
 
 	if *dataGlob == "" {
@@ -55,12 +58,27 @@ func main() {
 	if err != nil {
 		log.Fatalf("opening data: %v", err)
 	}
+	var jw *journal.Writer
+	if *obsAddr != "" {
+		// The in-memory journal exists to feed /events and /trace; a nil
+		// journal is a no-op sink, so unobserved runs pay nothing.
+		jw = journal.New()
+		srv, err := obs.Start(obs.Config{
+			Addr: *obsAddr, Role: "sim", Run: *dataGlob, Journal: jw,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("obs: serving %s/metrics\n", srv.URL())
+	}
 	sim, err := proxy.NewSimProxy(proxy.SimConfig{
 		Rank: *rank, Ranks: *ranks,
 		SamplingRatio:  *ratio,
 		SamplingMethod: m,
 		Seed:           *seed,
 		Compress:       *compress,
+		Journal:        jw,
 	}, src)
 	if err != nil {
 		log.Fatal(err)

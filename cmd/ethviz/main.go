@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"github.com/ascr-ecx/eth/internal/journal"
+	"github.com/ascr-ecx/eth/internal/obs"
 	"github.com/ascr-ecx/eth/internal/proxy"
 	"github.com/ascr-ecx/eth/internal/render"
 	"github.com/ascr-ecx/eth/internal/supervise"
@@ -51,6 +52,7 @@ func main() {
 	cursor := flag.String("cursor", "", "persist the step cursor here; a restarted ethviz resumes after its last completed step")
 	trace := flag.String("trace", "", "append the step journal (JSONL) to this crash-safe file")
 	reconnect := flag.Int("reconnect", 0, "redials to survive when the simulation peer is lost mid-run")
+	obsAddr := flag.String("obs", "", "serve live observability (/metrics /healthz /events /trace) on this address")
 	flag.Parse()
 
 	operations, err := parseOps(*ops)
@@ -65,6 +67,21 @@ func main() {
 			log.Fatal(err)
 		}
 		defer jw.Close()
+	}
+	if *obsAddr != "" {
+		if jw == nil {
+			// No trace file: keep the journal in memory so /events and
+			// /trace still stream the run.
+			jw = journal.New()
+		}
+		srv, err := obs.Start(obs.Config{
+			Addr: *obsAddr, Role: "viz", Run: *trace, Journal: jw,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("obs: serving %s/metrics\n", srv.URL())
 	}
 	ctx, stop := supervise.SignalContext(context.Background(), jw)
 	defer stop()

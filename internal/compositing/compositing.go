@@ -109,7 +109,11 @@ func Composite(frames []*fb.Frame, alg Algorithm) (*fb.Frame, Stats, error) {
 	if err != nil {
 		return nil, Stats{}, err
 	}
-	telemetry.Default.ObserveSpan("compositing."+alg.String(), time.Since(t0))
+	if alg == BinarySwap {
+		telemetry.Default.ObserveSpan("compositing.binary_swap", time.Since(t0))
+	} else {
+		telemetry.Default.ObserveSpan("compositing.direct_send", time.Since(t0))
+	}
 	ctrCompBytes.Add(stats.BytesMoved)
 	ctrCompMsgs.Add(int64(stats.MessagesMoved))
 	return out, stats, err

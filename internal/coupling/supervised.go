@@ -48,6 +48,28 @@ func (r *connRegistry) closeAll() {
 	}
 }
 
+// cursorObserver is the optional extension a supervise.Observer can
+// implement to receive the visualization proxy's durable step cursor
+// alongside the watchdog's opaque progress value. internal/obs's Health
+// implements it, which is how /healthz reports per-pair step cursors.
+type cursorObserver interface {
+	RoleCursor(role string, cursor func() int64)
+}
+
+// registerCursor hands the pair's step-cursor probe to the observer when
+// it wants one, under the same display name the supervisor reports with.
+func registerCursor(cfg supervise.Config, viz *proxy.VizProxy) {
+	co, ok := cfg.Observer.(cursorObserver)
+	if !ok {
+		return
+	}
+	role := cfg.Role
+	if role == "" {
+		role = "task"
+	}
+	co.RoleCursor(role, func() int64 { return int64(viz.NextStep()) })
+}
+
 // asSupervised maps proxy-level failure classes onto the supervisor's
 // sentinels so restart events carry the right cause token: a contained
 // proxy panic becomes ErrPanicked, a drain becomes ErrShutdown.
@@ -82,6 +104,7 @@ func RunSocketPairSupervised(ctx context.Context, sim *proxy.SimProxy, viz *prox
 	}
 	cfg.Probe = func() int64 { return int64(viz.NextStep()) + int64(jw.Len()) }
 	cfg.Interrupt = reg.closeAll
+	registerCursor(cfg, viz)
 	t0 := time.Now()
 	agg := Report{Viz: viz}
 	err := supervise.New(cfg).Run(ctx, func(actx context.Context) error {
@@ -107,6 +130,7 @@ func RunUnifiedSupervised(ctx context.Context, sim *proxy.SimProxy, viz *proxy.V
 		cfg.Journal = jw
 	}
 	cfg.Probe = func() int64 { return int64(viz.NextStep()) + int64(jw.Len()) }
+	registerCursor(cfg, viz)
 	t0 := time.Now()
 	agg := Report{Viz: viz}
 	err := supervise.New(cfg).Run(ctx, func(actx context.Context) error {

@@ -1,0 +1,146 @@
+package journal
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Follower tails a journal file while it is being written — the live
+// half of the replay API. Each Drain call parses every complete
+// (newline-terminated) event appended since the follower's byte offset;
+// an unterminated final line is the writer's in-flight event and simply
+// stays pending until its newline lands, so following a live journal
+// never reports a torn tail for an event that is still being written.
+//
+// The offset is the resume point: persist Offset() and a later follower
+// constructed with NewFollowerAt picks up exactly where this one
+// stopped, across process restarts.
+//
+// The one genuinely exceptional shape is the file shrinking below the
+// offset: journal.Append's tail repair truncated a torn final line away
+// (the writer crashed mid-event and restarted). Drain then resets to
+// the new end of file and reports ErrTornTail once, so subscribers can
+// surface the discontinuity; the next Drain resumes cleanly.
+type Follower struct {
+	path string
+	off  int64
+}
+
+// NewFollower tails the journal at path from the beginning. The file
+// may not exist yet — Drain reports no events until it appears.
+func NewFollower(path string) *Follower { return &Follower{path: path} }
+
+// NewFollowerAt tails the journal at path from a byte offset previously
+// reported by Offset.
+func NewFollowerAt(path string, offset int64) *Follower {
+	if offset < 0 {
+		offset = 0
+	}
+	return &Follower{path: path, off: offset}
+}
+
+// Offset returns the byte offset after the last complete event Drain
+// consumed — the durable resume point.
+func (f *Follower) Offset() int64 { return f.off }
+
+// Drain parses every complete event appended since the last call (or
+// the construction offset) and advances the offset past them. A missing
+// file yields no events and no error; an unterminated final line stays
+// pending for the next call. A shrunken file (torn-tail repair by a
+// restarted writer) resets the offset to the new end and returns the
+// complete events read so far along with an ErrTornTail-wrapped error.
+func (f *Follower) Drain() ([]Event, error) {
+	file, err := os.Open(f.path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: following %s: %w", f.path, err)
+	}
+	defer file.Close()
+
+	size, err := file.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, fmt.Errorf("journal: following %s: %w", f.path, err)
+	}
+	if size < f.off {
+		// The writer's restart repaired a torn tail we were waiting on.
+		f.off = size
+		return nil, fmt.Errorf("journal: %s shrank below offset (torn-tail repair): %w", f.path, ErrTornTail)
+	}
+	if size == f.off {
+		return nil, nil
+	}
+	raw := make([]byte, size-f.off)
+	if _, err := file.ReadAt(raw, f.off); err != nil {
+		return nil, fmt.Errorf("journal: following %s: %w", f.path, err)
+	}
+	// Only complete lines are consumable; the remainder is the writer's
+	// in-flight event (or a crash's torn tail — indistinguishable until
+	// the writer either finishes the line or repairs it on restart).
+	keep := bytes.LastIndexByte(raw, '\n') + 1
+	raw = raw[:keep]
+
+	var events []Event
+	consumed := int64(0)
+	for len(raw) > 0 {
+		nl := bytes.IndexByte(raw, '\n')
+		line := bytes.TrimRight(raw[:nl], "\r")
+		lineLen := int64(nl + 1)
+		raw = raw[nl+1:]
+		if len(line) == 0 {
+			consumed += lineLen
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			// A malformed *terminated* line is real corruption, not a torn
+			// tail; stop before it so the caller sees a stable offset.
+			f.off += consumed
+			return events, fmt.Errorf("journal: following %s at offset %d: %w", f.path, f.off, err)
+		}
+		events = append(events, ev)
+		consumed += lineLen
+	}
+	f.off += consumed
+	return events, nil
+}
+
+// Follow polls the journal every poll interval (default 50ms) and
+// delivers events to fn in order until ctx is canceled or fn returns an
+// error. ErrTornTail from a mid-follow tail repair is delivered to fn
+// as a synthesized TypeError event (the stream stays alive); any other
+// read error ends the follow. Returns nil on context cancellation.
+func (f *Follower) Follow(ctx context.Context, poll time.Duration, fn func(Event) error) error {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		events, err := f.Drain()
+		if errors.Is(err, ErrTornTail) {
+			events = append(events, Event{
+				Type: TypeError, Rank: -1, Step: -1, Err: err.Error(),
+			})
+		} else if err != nil {
+			return err
+		}
+		for _, ev := range events {
+			if err := fn(ev); err != nil {
+				return err
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-tick.C:
+		}
+	}
+}

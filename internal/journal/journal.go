@@ -66,6 +66,10 @@ const (
 	// TypeCheckpoint records durable progress being persisted: a viz
 	// cursor advancing, a sweep experiment completing, a run finishing.
 	TypeCheckpoint = "checkpoint"
+	// TypeOverflow records a bounded live-tail subscriber dropping its
+	// oldest queued events (drop-oldest backpressure); Elements carries
+	// the dropped count and Detail identifies the subscriber.
+	TypeOverflow = "overflow"
 )
 
 // Phase names used by timed events. Breakdown sums event durations by
@@ -224,6 +228,27 @@ func (j *Writer) Events() []Event {
 	defer j.mu.Unlock()
 	out := make([]Event, len(j.events))
 	copy(out, j.events)
+	return out
+}
+
+// EventsSince returns a copy of the events emitted at index n and later
+// — the in-process live-tail primitive: a subscriber remembers how many
+// events it has consumed and drains the rest on each poll. An n at or
+// past the end returns nil.
+func (j *Writer) EventsSince(n int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	if n >= len(j.events) {
+		return nil
+	}
+	out := make([]Event, len(j.events)-n)
+	copy(out, j.events[n:])
 	return out
 }
 

@@ -80,7 +80,7 @@ type Result struct {
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{SpanEnd, ErrWrap, GuardedField, NakedGo, FloatEq, HotAlloc, JournalEnd, SentinelErr}
+	return []*Analyzer{SpanEnd, ErrWrap, GuardedField, NakedGo, FloatEq, HotAlloc, JournalEnd, SentinelErr, MetricName}
 }
 
 // ByName returns the analyzer with the given name, or nil.

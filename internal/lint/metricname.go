@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// MetricName enforces the telemetry naming contract the /metrics
+// exposition depends on: every name handed to a Registry —
+// Counter, Gauge, Histogram, Span, StartSpan, ObserveSpan — must be a
+// compile-time constant in dotted snake_case ("transport.bytes_sent",
+// "viz.render"). Two failure modes are caught:
+//
+//   - A malformed literal ("Transport.Bytes", "viz-render") would be
+//     mangled by the Prometheus name sanitizer, silently splitting one
+//     logical series into differently-spelled families across ranks.
+//   - A dynamic name (fmt.Sprintf, string concatenation with a
+//     variable) defeats grep, cannot be audited against dashboards, and
+//     risks unbounded metric cardinality from unvalidated input. Hoist
+//     the possible names to literals, or carry
+//     //lint:ignore metricname <reason> when the domain is provably
+//     closed (e.g. an enum's String()).
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "telemetry metric names must be constant dotted snake_case",
+	Run:  runMetricName,
+}
+
+// metricNameRe is the canonical shape: dot-separated snake_case
+// segments, each starting with a letter.
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9_]*(\.[a-z][a-z0-9_]*)*$`)
+
+// metricNameMethods are the Registry methods whose first argument is a
+// metric name.
+var metricNameMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"Span": true, "StartSpan": true, "ObserveSpan": true,
+}
+
+func runMetricName(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metricNameMethods[sel.Sel.Name] {
+				return true
+			}
+			if !isRegistryRecv(pass, sel) {
+				return true
+			}
+			arg := call.Args[0]
+			tv, ok := pass.Info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				pass.Reportf(arg.Pos(),
+					"dynamic metric name in %s(); use a constant so the series can be grepped and its cardinality audited",
+					sel.Sel.Name)
+				return true
+			}
+			name := constant.StringVal(tv.Value)
+			if !metricNameRe.MatchString(name) {
+				pass.Reportf(arg.Pos(),
+					"metric name %q is not dotted snake_case ([a-z][a-z0-9_]*, dot-separated); the Prometheus sanitizer would mangle it",
+					name)
+			}
+			return true
+		})
+	}
+}
+
+// isRegistryRecv reports whether the selector's receiver is a telemetry
+// Registry (matched by type name, so fixtures and any package following
+// the telemetry shape are covered).
+func isRegistryRecv(pass *Pass, sel *ast.SelectorExpr) bool {
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Registry"
+}

@@ -1,0 +1,73 @@
+package lint
+
+import "testing"
+
+const metricnameFixture = `package fix
+
+import "time"
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *int       { return nil }
+func (r *Registry) Gauge(name string) *int         { return nil }
+func (r *Registry) Histogram(name string) *int     { return nil }
+func (r *Registry) Span(name string) *int          { return nil }
+func (r *Registry) StartSpan(name string) *int     { return nil }
+func (r *Registry) ObserveSpan(name string, d time.Duration) {}
+
+const stepSpan = "sim.generate"
+
+type algo int
+
+func (a algo) String() string { return "direct_send" }
+
+func good(r *Registry, d time.Duration) {
+	r.Counter("transport.bytes_sent")
+	r.Gauge("queue_depth")
+	r.Histogram("viz.render.raycast")
+	r.Span("coupling.socket")
+	r.StartSpan(stepSpan)
+	r.ObserveSpan("viz.op.halos", d)
+	r.Counter("a.b_2.c")
+}
+
+func badFormat(r *Registry) {
+	r.Counter("Transport.Bytes")  // want "not dotted snake_case"
+	r.Gauge("viz-render")         // want "not dotted snake_case"
+	r.Histogram("viz..render")    // want "not dotted snake_case"
+	r.StartSpan("2fast")          // want "not dotted snake_case"
+	r.Span("trailing.")           // want "not dotted snake_case"
+	r.Counter("")                 // want "not dotted snake_case"
+}
+
+func dynamic(r *Registry, alg algo, name string, d time.Duration) {
+	r.ObserveSpan("compositing."+alg.String(), d) // want "dynamic metric name in ObserveSpan"
+	r.Histogram("viz.render." + name)             // want "dynamic metric name in Histogram"
+	r.Counter(name)                               // want "dynamic metric name in Counter"
+	//lint:ignore metricname algorithm enum is a closed two-value domain
+	r.StartSpan("compositing." + alg.String())
+}
+
+// Constant folding: concatenation of constants stays auditable.
+func folded(r *Registry) {
+	const prefix = "proxy."
+	r.Counter(prefix + "steps")
+}
+
+// Other receivers named differently are not metric registries.
+type client struct{}
+
+func (c *client) Counter(name string) *int { return nil }
+
+func notRegistry(c *client, name string) {
+	c.Counter(name)
+	c.Counter("Whatever-Goes")
+}
+`
+
+func TestMetricName(t *testing.T) {
+	res := runFixture(t, MetricName, "example.com/internal/proxy", metricnameFixture)
+	if res.Suppressed != 1 {
+		t.Errorf("suppressed = %d, want 1", res.Suppressed)
+	}
+}

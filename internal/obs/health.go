@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/ascr-ecx/eth/internal/supervise"
+)
+
+// Health turns the supervise watchdog's event feed into liveness and
+// readiness. It is the supervise.Observer to hang on a Config — one
+// Health instance aggregates every supervised role in the process (each
+// pair's supervisor reports independently) — and additionally implements
+// coupling's optional cursorObserver extension so /healthz can report
+// the durable step cursor a restart would resume from.
+//
+// Semantics:
+//
+//   - healthy (liveness): no role has failed. A role fails when its
+//     supervisor gives up — restart budget exhausted, non-restartable
+//     error — but a clean shutdown (ErrShutdown) or normal completion
+//     keeps it healthy. Unhealthy is terminal for the process: restarts
+//     are exhausted, so an orchestrator should replace it.
+//   - ready (traffic-worthiness): healthy, and no role is currently
+//     stalled. A stall flips ready off when the watchdog trips and back
+//     on when the restarted attempt makes progress — transient by
+//     design, which is what distinguishes /readyz from /healthz.
+//
+// A Health with no registered roles reports healthy and ready: a
+// process that runs nothing supervised has nothing wrong with it.
+type Health struct {
+	mu    sync.Mutex
+	roles map[string]*roleState // guarded by mu
+}
+
+type roleState struct {
+	progress   int64
+	cursor     func() int64
+	restarts   int
+	budget     int
+	lastCause  string
+	stalled    bool
+	stalledFor time.Duration
+	done       bool
+	failed     bool
+	errText    string
+	updated    time.Time
+}
+
+// NewHealth returns an empty health tracker.
+func NewHealth() *Health {
+	return &Health{roles: map[string]*roleState{}}
+}
+
+var _ supervise.Observer = (*Health)(nil)
+
+// state returns the (created-if-needed) state for a role. Caller holds mu.
+func (h *Health) stateLocked(role string) *roleState {
+	st := h.roles[role]
+	if st == nil {
+		st = &roleState{}
+		h.roles[role] = st
+	}
+	st.updated = time.Now()
+	return st
+}
+
+// RoleProgress implements supervise.Observer: a moving probe clears any
+// stall flag.
+func (h *Health) RoleProgress(role string, progress int64) {
+	h.mu.Lock()
+	st := h.stateLocked(role)
+	st.progress = progress
+	st.stalled = false
+	st.stalledFor = 0
+	h.mu.Unlock()
+}
+
+// RoleStalled implements supervise.Observer: the watchdog saw no
+// progress and is tearing the attempt down — not ready until a restart
+// moves again.
+func (h *Health) RoleStalled(role string, stalledFor time.Duration) {
+	h.mu.Lock()
+	st := h.stateLocked(role)
+	st.stalled = true
+	st.stalledFor = stalledFor
+	h.mu.Unlock()
+}
+
+// RoleRestarted implements supervise.Observer.
+func (h *Health) RoleRestarted(role string, restarts, budget int, cause string) {
+	h.mu.Lock()
+	st := h.stateLocked(role)
+	st.restarts = restarts
+	st.budget = budget
+	st.lastCause = cause
+	h.mu.Unlock()
+}
+
+// RoleDone implements supervise.Observer: a role that ends in anything
+// but success or a clean shutdown marks the process unhealthy.
+func (h *Health) RoleDone(role string, err error) {
+	h.mu.Lock()
+	st := h.stateLocked(role)
+	st.done = true
+	st.stalled = false
+	if err != nil && !errors.Is(err, supervise.ErrShutdown) {
+		st.failed = true
+		st.errText = err.Error()
+	}
+	h.mu.Unlock()
+}
+
+// RoleCursor implements coupling's cursorObserver extension: the
+// supplied function reads the role's durable step cursor (the step a
+// restart resumes from). Sampled live on every snapshot.
+func (h *Health) RoleCursor(role string, cursor func() int64) {
+	h.mu.Lock()
+	h.stateLocked(role).cursor = cursor
+	h.mu.Unlock()
+}
+
+// RoleHealth is one role's row in a health snapshot.
+type RoleHealth struct {
+	Role       string `json:"role"`
+	Progress   int64  `json:"progress"`
+	Cursor     int64  `json:"cursor,omitempty"`
+	Restarts   int    `json:"restarts"`
+	Budget     int    `json:"budget,omitempty"`
+	LastCause  string `json:"last_cause,omitempty"`
+	Stalled    bool   `json:"stalled"`
+	StalledFor string `json:"stalled_for,omitempty"`
+	Done       bool   `json:"done"`
+	Error      string `json:"error,omitempty"`
+}
+
+// HealthStatus is the JSON body served by /healthz and /readyz.
+type HealthStatus struct {
+	Healthy bool         `json:"healthy"`
+	Ready   bool         `json:"ready"`
+	Roles   []RoleHealth `json:"roles,omitempty"`
+}
+
+// Snapshot reports the current aggregate and per-role health, roles
+// sorted by name.
+func (h *Health) Snapshot() HealthStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := HealthStatus{Healthy: true, Ready: true}
+	names := make([]string, 0, len(h.roles))
+	for name := range h.roles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := h.roles[name]
+		rh := RoleHealth{
+			Role:      name,
+			Progress:  st.progress,
+			Restarts:  st.restarts,
+			Budget:    st.budget,
+			LastCause: st.lastCause,
+			Stalled:   st.stalled,
+			Done:      st.done,
+			Error:     st.errText,
+		}
+		if st.stalled {
+			rh.StalledFor = st.stalledFor.String()
+		}
+		if st.cursor != nil {
+			rh.Cursor = st.cursor()
+		}
+		if st.failed {
+			out.Healthy = false
+		}
+		if st.stalled || st.failed {
+			out.Ready = false
+		}
+		out.Roles = append(out.Roles, rh)
+	}
+	return out
+}
+
+// handleHealthz serves /healthz: 200 while live, 503 once any role has
+// failed terminally.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.health.Snapshot()
+	writeHealth(w, st, st.Healthy)
+}
+
+// handleReadyz serves /readyz: 200 while healthy and unstalled, 503
+// while any role's watchdog has it torn down for lack of progress.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.health.Snapshot()
+	writeHealth(w, st, st.Ready)
+}
+
+func writeHealth(w http.ResponseWriter, st HealthStatus, ok bool) {
+	w.Header().Set("Content-Type", "application/json")
+	if !ok {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st)
+}

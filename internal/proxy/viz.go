@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"math"
 	"os"
-	"sync/atomic"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"github.com/ascr-ecx/eth/internal/camera"
@@ -89,6 +89,12 @@ type VizProxy struct {
 	// allowGaps permits the wire step to jump past next (a step the
 	// degradation policy skipped on the sender side).
 	allowGaps bool
+	// imgHist and opSpans are the per-algorithm/per-operation metric
+	// series, resolved once at construction: both domains are closed
+	// (render registry, compiled-in operations), and resolving here keeps
+	// the per-step path off the registry's name-lookup lock.
+	imgHist *telemetry.Histogram
+	opSpans []*telemetry.SpanMetric
 	// Results accumulates per-step instrumentation.
 	Results []StepResult
 }
@@ -109,6 +115,15 @@ func NewVizProxy(cfg VizConfig) (*VizProxy, error) {
 		return nil, err
 	}
 	v := &VizProxy{cfg: cfg, renderer: r}
+	// The algorithm name was just validated by the render registry and
+	// the operation set is compiled in, so these dynamic names are drawn
+	// from closed, snake_case domains.
+	//lint:ignore metricname algorithm names come from the closed render registry
+	v.imgHist = telemetry.Default.Histogram("viz.render." + cfg.Algorithm)
+	for _, op := range cfg.Operations {
+		//lint:ignore metricname operation names are the compiled-in halos/stats/save set
+		v.opSpans = append(v.opSpans, telemetry.Default.Span("viz.op."+op.Name()))
+	}
 	if cfg.CursorPath != "" {
 		cp, err := journal.ReadCheckpoint(cfg.CursorPath)
 		switch {
@@ -133,7 +148,6 @@ func (v *VizProxy) RenderStep(step int, ds data.Dataset) (res StepResult, err er
 	t0 := time.Now()
 	res = StepResult{Step: step, Elements: ds.Count(), Images: v.cfg.ImagesPerStep}
 	bounds := ds.Bounds()
-	imgHist := telemetry.Default.Histogram("viz.render." + v.cfg.Algorithm)
 	frame := v.scratch
 	if frame == nil || frame.W != v.cfg.Width || frame.H != v.cfg.Height {
 		frame = fb.New(v.cfg.Width, v.cfg.Height)
@@ -163,7 +177,7 @@ func (v *VizProxy) RenderStep(step int, ds data.Dataset) (res StepResult, err er
 				return res, err
 			}
 		}
-		imgHist.ObserveDuration(time.Since(it0))
+		v.imgHist.ObserveDuration(time.Since(it0))
 	}
 	res.Render = time.Since(t0)
 	telemetry.Default.ObserveSpan("viz.render", res.Render)
@@ -176,7 +190,7 @@ func (v *VizProxy) RenderStep(step int, ds data.Dataset) (res StepResult, err er
 
 	// Run the configured analysis operations on the step's data, each
 	// under its own analysis span.
-	for _, op := range v.cfg.Operations {
+	for i, op := range v.cfg.Operations {
 		ot0 := time.Now()
 		opRes, err := op.Apply(OpContext{Step: step, Rank: v.cfg.Rank, OutDir: v.cfg.OutDir}, ds)
 		if err != nil {
@@ -186,7 +200,7 @@ func (v *VizProxy) RenderStep(step int, ds data.Dataset) (res StepResult, err er
 		}
 		opDur := time.Since(ot0)
 		res.Analysis += opDur
-		telemetry.Default.ObserveSpan("viz.op."+op.Name(), opDur)
+		v.opSpans[i].Observe(opDur)
 		v.cfg.Journal.Emit(journal.Event{
 			Type: journal.TypeAnalysis, Phase: journal.PhaseAnalysis,
 			Rank: v.cfg.Rank, Step: step, DurNS: int64(opDur),

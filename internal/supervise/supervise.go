@@ -70,6 +70,27 @@ var (
 	ctrStalls   = telemetry.Default.Counter("supervise.stalls")
 )
 
+// Observer receives the watchdog's live view of a supervised role —
+// the feed the observability plane (internal/obs) turns into /healthz
+// and /readyz. Implementations must be safe for concurrent use (every
+// pair's supervisor reports independently) and must not block: calls
+// happen on the watchdog goroutine between probe ticks.
+type Observer interface {
+	// RoleProgress reports the probe's current progress value. Called at
+	// attempt start and whenever the watchdog sees the value move.
+	RoleProgress(role string, progress int64)
+	// RoleStalled reports that the watchdog saw no progress for stalledFor
+	// and is tearing the attempt down.
+	RoleStalled(role string, stalledFor time.Duration)
+	// RoleRestarted reports a restart decision: attempt restarts spent so
+	// far out of the budget, with the classified cause token.
+	RoleRestarted(role string, restarts, budget int, cause string)
+	// RoleDone reports the supervisor's final outcome: nil for success,
+	// otherwise an error wrapping one of the package sentinels
+	// (ErrShutdown, ErrRestartBudget, ...).
+	RoleDone(role string, err error)
+}
+
 // Config shapes one supervised role.
 type Config struct {
 	// Role names the supervised role in journal events ("sim", "viz",
@@ -98,6 +119,9 @@ type Config struct {
 	Interrupt func()
 	// Journal receives restart/shutdown/error events. May be nil.
 	Journal *journal.Writer
+	// Observer, when set, receives live progress/stall/restart/outcome
+	// reports for health endpoints and dashboards. May be nil.
+	Observer Observer
 }
 
 // role returns the display name for journal events.
@@ -145,7 +169,10 @@ func (s *Supervisor) Restarts() int { return int(s.restarts.Load()) }
 // recovered, journaled as an error event carrying the stack, and
 // treated as a restartable failure. Failures wrap the package sentinels
 // so callers can classify the outcome.
-func (s *Supervisor) Run(ctx context.Context, task Task) error {
+func (s *Supervisor) Run(ctx context.Context, task Task) (rerr error) {
+	if s.cfg.Observer != nil {
+		defer func() { s.cfg.Observer.RoleDone(s.cfg.role(), rerr) }()
+	}
 	backoff := s.cfg.backoffBase()
 	for attempt := 0; ; attempt++ {
 		err := s.attempt(ctx, task)
@@ -174,6 +201,9 @@ func (s *Supervisor) Run(ctx context.Context, task Task) error {
 		}
 		s.restarts.Add(1)
 		ctrRestarts.Inc()
+		if s.cfg.Observer != nil {
+			s.cfg.Observer.RoleRestarted(s.cfg.role(), attempt+1, s.cfg.MaxRestarts, causeOf(err))
+		}
 		s.cfg.Journal.Emit(journal.Event{
 			Type: journal.TypeRestart, Rank: -1, Step: -1,
 			Detail: fmt.Sprintf("role=%s attempt=%d/%d cause=%s backoff=%v",
@@ -217,6 +247,9 @@ func (s *Supervisor) attempt(ctx context.Context, task Task) error {
 	defer tick.Stop()
 	last := s.cfg.Probe()
 	lastChange := time.Now()
+	if s.cfg.Observer != nil {
+		s.cfg.Observer.RoleProgress(s.cfg.role(), last)
+	}
 	for {
 		select {
 		case err := <-done:
@@ -224,10 +257,16 @@ func (s *Supervisor) attempt(ctx context.Context, task Task) error {
 		case <-tick.C:
 			if v := s.cfg.Probe(); v != last {
 				last, lastChange = v, time.Now()
+				if s.cfg.Observer != nil {
+					s.cfg.Observer.RoleProgress(s.cfg.role(), last)
+				}
 				continue
 			}
 			if stalled := time.Since(lastChange); stalled > s.cfg.Stall {
 				ctrStalls.Inc()
+				if s.cfg.Observer != nil {
+					s.cfg.Observer.RoleStalled(s.cfg.role(), stalled)
+				}
 				cancel()
 				if s.cfg.Interrupt != nil {
 					s.cfg.Interrupt()

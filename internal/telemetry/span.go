@@ -119,6 +119,44 @@ func (h *Histogram) Quantile(q float64) int64 {
 	return h.max.Load()
 }
 
+// BucketBound returns the inclusive upper bound of log2 bucket b:
+// bucket 0 holds v <= 0, bucket b (0 < b < 63) holds v <= 2^b - 1, and
+// the final bucket is unbounded (math.MaxInt64). Exposition code pairs
+// these bounds with CumulativeBuckets to render the distribution.
+func BucketBound(b int) int64 {
+	if b <= 0 {
+		return 0
+	}
+	if b >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	return (int64(1) << uint(b)) - 1
+}
+
+// CumulativeBuckets fills dst with the running total of observations per
+// log2 bucket (dst[b] counts observations <= BucketBound(b)) and returns
+// the number of buckets written: the index after the last non-empty
+// bucket, so callers can render only the occupied prefix. dst must have
+// space for NumBuckets entries. The walk is lock-free — concurrent
+// observers may land between bucket loads, so the counts are a live
+// approximation, exactly like every other scrape of a running system.
+func (h *Histogram) CumulativeBuckets(dst []int64) int {
+	var cum int64
+	used := 0
+	for b := 0; b < histBuckets; b++ {
+		n := h.buckets[b].Load()
+		cum += n
+		dst[b] = cum
+		if n > 0 {
+			used = b + 1
+		}
+	}
+	return used
+}
+
+// NumBuckets is the bucket count CumulativeBuckets requires of dst.
+const NumBuckets = histBuckets
+
 // reset zeroes the histogram (registry lock held by caller).
 func (h *Histogram) reset() {
 	h.count.Store(0)
@@ -173,6 +211,7 @@ func (r *Registry) StartSpan(name string) *Span {
 // ObserveSpan records a pre-measured duration under the given span name —
 // the zero-allocation path for hot loops that manage their own clocks.
 func (r *Registry) ObserveSpan(name string, d time.Duration) {
+	//lint:ignore metricname registry plumbing forwards the caller's already-checked name
 	r.Span(name).Observe(d)
 }
 
@@ -190,6 +229,7 @@ func (s *Span) Child(name string) *Span {
 // End closes the span, records its duration, and returns it.
 func (s *Span) End() time.Duration {
 	d := time.Since(s.start)
+	//lint:ignore metricname span plumbing forwards the name StartSpan was opened with
 	s.r.ObserveSpan(s.name, d)
 	return d
 }

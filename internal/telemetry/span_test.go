@@ -223,3 +223,53 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		}
 	})
 }
+
+// TestCumulativeBuckets checks the exposition walk: cumulative counts
+// pair with BucketBound, and the returned length covers exactly the
+// occupied prefix.
+func TestCumulativeBuckets(t *testing.T) {
+	var r Registry
+	h := r.Histogram("cb")
+	for _, v := range []int64{0, 1, 1, 3, 100} {
+		h.Observe(v)
+	}
+	var buckets [NumBuckets]int64
+	used := h.CumulativeBuckets(buckets[:])
+	// 100 has bits.Len64 = 7, so the last occupied bucket is 7.
+	if used != 8 {
+		t.Fatalf("used = %d, want 8", used)
+	}
+	// Bucket 0 (v <= 0) holds one observation; bucket 1 (v <= 1) adds two.
+	if buckets[0] != 1 || buckets[1] != 3 {
+		t.Errorf("buckets[0,1] = %d,%d, want 1,3", buckets[0], buckets[1])
+	}
+	if buckets[used-1] != h.Count() {
+		t.Errorf("last occupied bucket = %d, want count %d", buckets[used-1], h.Count())
+	}
+	if BucketBound(0) != 0 || BucketBound(1) != 1 || BucketBound(2) != 3 {
+		t.Errorf("bounds = %d,%d,%d, want 0,1,3", BucketBound(0), BucketBound(1), BucketBound(2))
+	}
+	if BucketBound(NumBuckets-1) != math.MaxInt64 || BucketBound(NumBuckets+5) != math.MaxInt64 {
+		t.Error("final bucket bound should be MaxInt64")
+	}
+}
+
+// TestEachMetric checks the registry walks visit every registered metric.
+func TestEachMetric(t *testing.T) {
+	var r Registry
+	r.Counter("a").Inc()
+	r.Counter("b").Inc()
+	r.Gauge("g").Set(7)
+	r.Histogram("h").Observe(1)
+	r.Span("s").Observe(time.Millisecond)
+	names := map[string]bool{}
+	r.EachCounter(func(c *Counter) { names["c:"+c.Name()] = true })
+	r.EachGauge(func(g *Gauge) { names["g:"+g.Name()] = true })
+	r.EachHistogram(func(h *Histogram) { names["h:"+h.Name()] = true })
+	r.EachSpan(func(s *SpanMetric) { names["s:"+s.Name()] = true })
+	for _, want := range []string{"c:a", "c:b", "g:g", "h:h", "s:s"} {
+		if !names[want] {
+			t.Errorf("walk missed %s (got %v)", want, names)
+		}
+	}
+}

@@ -180,6 +180,62 @@ func (r *Registry) Gauges() map[string]int64 {
 	return out
 }
 
+// EachCounter calls fn once per registered counter, in no particular
+// order. The registry's read lock is released before fn runs, so fn may
+// itself use the registry; new registrations during the walk may or may
+// not be visited. EachGauge/EachHistogram/EachSpan behave identically.
+// Exposition code (internal/obs) builds /metrics from these walks.
+func (r *Registry) EachCounter(fn func(*Counter)) {
+	r.mu.RLock()
+	cs := make([]*Counter, 0, len(r.counters))
+	for _, c := range r.counters {
+		cs = append(cs, c)
+	}
+	r.mu.RUnlock()
+	for _, c := range cs {
+		fn(c)
+	}
+}
+
+// EachGauge calls fn once per registered gauge (see EachCounter).
+func (r *Registry) EachGauge(fn func(*Gauge)) {
+	r.mu.RLock()
+	gs := make([]*Gauge, 0, len(r.gauges))
+	for _, g := range r.gauges {
+		gs = append(gs, g)
+	}
+	r.mu.RUnlock()
+	for _, g := range gs {
+		fn(g)
+	}
+}
+
+// EachHistogram calls fn once per registered histogram (see EachCounter).
+func (r *Registry) EachHistogram(fn func(*Histogram)) {
+	r.mu.RLock()
+	hs := make([]*Histogram, 0, len(r.hists))
+	for _, h := range r.hists {
+		hs = append(hs, h)
+	}
+	r.mu.RUnlock()
+	for _, h := range hs {
+		fn(h)
+	}
+}
+
+// EachSpan calls fn once per registered span metric (see EachCounter).
+func (r *Registry) EachSpan(fn func(*SpanMetric)) {
+	r.mu.RLock()
+	ss := make([]*SpanMetric, 0, len(r.spans))
+	for _, s := range r.spans {
+		ss = append(ss, s)
+	}
+	r.mu.RUnlock()
+	for _, s := range ss {
+		fn(s)
+	}
+}
+
 // Reset zeroes every metric (for test isolation and per-run phases).
 func (r *Registry) Reset() {
 	r.mu.Lock()

@@ -22,6 +22,33 @@ go test -race ./...
 echo "== go test -race -run 'TestProc|TestSupervised' ./internal/supervise ./internal/coupling"
 go test -race -run 'TestProc|TestSupervised' ./internal/supervise/ ./internal/coupling/
 
+# Live telemetry plane: boot a real run with -obs and validate the
+# exposition end to end with ethtop -once (which fails unless /metrics
+# parses as Prometheus text and /healthz answers) — no curl, no jq.
+echo "== ethrun -obs + ethtop -once"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"; [ -z "${runpid:-}" ] || kill "$runpid" 2>/dev/null || true' EXIT
+go build -o "$tmp/ethrun" ./cmd/ethrun
+go build -o "$tmp/ethtop" ./cmd/ethtop
+"$tmp/ethrun" -workload hacc -particles 20000 -steps 10 -images 2 \
+    -width 128 -height 128 -obs 127.0.0.1:0 >"$tmp/obs.log" 2>&1 &
+runpid=$!
+url=""
+i=0
+while [ $i -lt 100 ]; do
+    url="$(sed -n 's|^obs: serving \(http://[^/]*\)/metrics$|\1|p' "$tmp/obs.log")"
+    [ -n "$url" ] && break
+    if ! kill -0 "$runpid" 2>/dev/null; then break; fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$url" ]; then
+    echo "obs endpoint never came up:"; cat "$tmp/obs.log"; exit 1
+fi
+"$tmp/ethtop" -once "$url"
+wait "$runpid"
+runpid=""
+
 echo "== go test -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio"
 go test -run='^$' -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio/
 
