@@ -7,7 +7,15 @@
 //
 // Usage:
 //
-//	ethlint [-list] [-only analyzer[,analyzer]] [packages]
+//	ethlint [-list] [-only analyzer[,analyzer]] [-json|-sarif]
+//	        [-max-ignores n] [-stale-ignores] [-cfgdump] [packages]
+//
+// -json and -sarif switch the report format on stdout (the one-line text
+// summary moves to stderr); the exit status is unchanged. -max-ignores
+// caps the number of //lint:ignore directives in the tree — the
+// suppression-debt gate — and -stale-ignores reports directives that
+// suppressed nothing this run. -cfgdump streams every control-flow graph
+// built by the flow-sensitive analyzers to stderr for debugging.
 //
 // The package arguments are accepted for interface familiarity
 // (`ethlint ./...`), but the whole module is always loaded; arguments
@@ -17,6 +25,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,6 +36,11 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	jsonOut := flag.Bool("json", false, "write findings as JSON to stdout")
+	sarifOut := flag.Bool("sarif", false, "write findings as SARIF 2.1.0 to stdout")
+	maxIgnores := flag.Int("max-ignores", -1, "fail if the tree holds more than this many //lint:ignore directives (-1 disables)")
+	staleIgnores := flag.Bool("stale-ignores", false, "fail on //lint:ignore directives that suppressed nothing")
+	cfgdump := flag.Bool("cfgdump", false, "dump every control-flow graph built during analysis to stderr")
 	flag.Parse()
 
 	if *list {
@@ -34,6 +48,10 @@ func main() {
 			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "ethlint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
 	}
 
 	analyzers := lint.All()
@@ -61,15 +79,77 @@ func main() {
 	}
 	pkgs = filterPackages(pkgs, flag.Args(), root)
 
-	res := lint.Run(pkgs, analyzers)
-	for _, d := range res.Diagnostics {
-		fmt.Println(relPos(d, root))
+	var opts lint.Options
+	if *cfgdump {
+		opts.CFGDump = os.Stderr
 	}
-	fmt.Printf("ethlint: %d packages, %d analyzers, %d findings, %d suppressed\n",
-		len(pkgs), len(analyzers), len(res.Diagnostics), res.Suppressed)
-	if len(res.Diagnostics) > 0 {
+	res := lint.RunOpts(pkgs, analyzers, opts)
+
+	fail := len(res.Diagnostics) > 0
+	summary := io.Writer(os.Stdout)
+	switch {
+	case *jsonOut:
+		summary = os.Stderr
+		if err := lint.WriteJSON(os.Stdout, res, root); err != nil {
+			fmt.Fprintf(os.Stderr, "ethlint: %v\n", err)
+			os.Exit(2)
+		}
+	case *sarifOut:
+		summary = os.Stderr
+		if err := lint.WriteSARIF(os.Stdout, res, analyzers, root); err != nil {
+			fmt.Fprintf(os.Stderr, "ethlint: %v\n", err)
+			os.Exit(2)
+		}
+	default:
+		for _, d := range res.Diagnostics {
+			fmt.Println(relPos(d, root))
+		}
+	}
+
+	if *maxIgnores >= 0 && res.Ignores > *maxIgnores {
+		fmt.Fprintf(os.Stderr, "ethlint: suppression debt: %d //lint:ignore directives, budget is %d — fix findings instead of suppressing them (or re-justify the budget)\n",
+			res.Ignores, *maxIgnores)
+		fail = true
+	}
+	if *staleIgnores {
+		for _, dir := range res.IgnoreDirectives {
+			if dir.Hits > 0 || !subset(dir.Analyzers, analyzers) {
+				continue
+			}
+			rel := dir.Pos.Filename
+			if r, err := filepath.Rel(root, rel); err == nil && !strings.HasPrefix(r, "..") {
+				rel = r
+			}
+			fmt.Fprintf(os.Stderr, "ethlint: stale ignore: %s:%d: //lint:ignore %s suppressed nothing\n",
+				rel, dir.Pos.Line, strings.Join(dir.Analyzers, ","))
+			fail = true
+		}
+	}
+
+	fmt.Fprintf(summary, "ethlint: %d packages, %d analyzers, %d findings, %d suppressed, %d ignore directives\n",
+		len(pkgs), len(analyzers), len(res.Diagnostics), res.Suppressed, res.Ignores)
+	if fail {
 		os.Exit(1)
 	}
+}
+
+// subset reports whether every analyzer named by a directive was part of
+// this run — staleness is only decidable for directives whose analyzers
+// all executed.
+func subset(names []string, ran []*lint.Analyzer) bool {
+	for _, n := range names {
+		found := false
+		for _, a := range ran {
+			if a.Name == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // findModuleRoot walks up from the working directory to the nearest

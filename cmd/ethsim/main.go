@@ -97,7 +97,6 @@ func main() {
 	ctx, stop := supervise.SignalContext(context.Background(), nil)
 	defer stop()
 	sim.SetStop(ctx.Done())
-	//lint:ignore nakedgo listener closer; Accept's error is handled by the loop below
 	go func() {
 		<-ctx.Done()
 		ln.Close()

@@ -122,7 +122,6 @@ func main() {
 		// A signal mid-receive closes the socket, which drains the
 		// in-flight step and unblocks the read.
 		unblock := make(chan struct{})
-		//lint:ignore nakedgo socket closer; Receive's error is handled below
 		go func() {
 			select {
 			case <-ctx.Done():

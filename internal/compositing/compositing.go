@@ -127,10 +127,12 @@ func directSend(frames []*fb.Frame) (*fb.Frame, Stats, error) {
 	// may ReleaseFrame the composite when done; dropping it is fine too).
 	out := mempool.AcquireFrameUncleared(w, h)
 	if err := out.CopyFrom(frames[0]); err != nil {
+		mempool.ReleaseFrame(out)
 		return nil, Stats{}, err
 	}
 	for _, f := range frames[1:] {
 		if err := MergeInto(out, f); err != nil {
+			mempool.ReleaseFrame(out)
 			return nil, Stats{}, err
 		}
 	}
@@ -166,12 +168,15 @@ func binarySwap(frames []*fb.Frame) (*fb.Frame, Stats, error) {
 		// result. Released back to the pool before returning.
 		cp := mempool.AcquireFrameUncleared(w, h)
 		if err := cp.CopyFrom(frames[i]); err != nil {
+			mempool.ReleaseFrame(cp)
+			releaseFrames(work[:i])
 			return nil, Stats{}, err
 		}
 		work[i] = cp
 	}
 	for i := pow; i < p; i++ {
 		if err := MergeInto(work[i-pow], frames[i]); err != nil {
+			releaseFrames(work)
 			return nil, Stats{}, err
 		}
 		stats.BytesMoved += int64(pixels) * bytesPerPixel
@@ -220,11 +225,16 @@ func binarySwap(frames []*fb.Frame) (*fb.Frame, Stats, error) {
 			stats.MessagesMoved++
 		}
 	}
-	for _, cp := range work {
-		mempool.ReleaseFrame(cp)
-	}
+	releaseFrames(work)
 	stats.Rounds++
 	return out, stats, nil
+}
+
+// releaseFrames returns every frame in fs to the pool.
+func releaseFrames(fs []*fb.Frame) {
+	for _, f := range fs {
+		mempool.ReleaseFrame(f)
+	}
 }
 
 // mergeRange merges src pixels [lo, hi) into dst.

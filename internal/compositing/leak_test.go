@@ -1,0 +1,55 @@
+package compositing
+
+import (
+	"testing"
+
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/mempool"
+)
+
+// Regression tests for frame-pool leaks on the compositors' error paths,
+// found by the poolleak analyzer: a merge or copy failure used to return
+// without releasing the pooled output/working frames. Each test seeds the
+// frame pool, drives the error path, and asserts the pool hands the same
+// frame objects back out — the pointer identity only holds if the error
+// path released them. The seed/acquire sequences stay on one goroutine,
+// so sync.Pool's per-P slots make the round trip deterministic.
+
+func TestDirectSendErrorReleasesOutput(t *testing.T) {
+	seed := mempool.AcquireFrameUncleared(8, 8)
+	mempool.ReleaseFrame(seed)
+
+	// Mismatched sizes: the output frame is acquired and seeded from
+	// frames[0] before MergeInto fails on frames[1].
+	if _, _, err := directSend([]*fb.Frame{fb.New(8, 8), fb.New(4, 4)}); err == nil {
+		t.Fatal("directSend with mismatched frames should fail")
+	}
+
+	got := mempool.AcquireFrameUncleared(8, 8)
+	defer mempool.ReleaseFrame(got)
+	if got != seed {
+		t.Errorf("output frame not returned to the pool on the error path: got %p, want %p", got, seed)
+	}
+}
+
+func TestBinarySwapErrorReleasesWorkFrames(t *testing.T) {
+	f1 := mempool.AcquireFrameUncleared(8, 8)
+	f2 := mempool.AcquireFrameUncleared(8, 8)
+	mempool.ReleaseFrame(f1)
+	mempool.ReleaseFrame(f2)
+
+	// pow = 2: the first working copy succeeds, the second's CopyFrom
+	// fails on the 4x4 frame — both copies must come back to the pool.
+	if _, _, err := binarySwap([]*fb.Frame{fb.New(8, 8), fb.New(4, 4)}); err == nil {
+		t.Fatal("binarySwap with mismatched frames should fail")
+	}
+
+	g1 := mempool.AcquireFrameUncleared(8, 8)
+	g2 := mempool.AcquireFrameUncleared(8, 8)
+	defer mempool.ReleaseFrame(g1)
+	defer mempool.ReleaseFrame(g2)
+	seeded := map[*fb.Frame]bool{f1: true, f2: true}
+	if !seeded[g1] || !seeded[g2] || g1 == g2 {
+		t.Errorf("working frames not returned to the pool on the error path: got %p/%p, want %p/%p", g1, g2, f1, f2)
+	}
+}

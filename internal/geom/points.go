@@ -80,7 +80,14 @@ func MapPoints(p *data.PointCloud, cam *camera.Camera, w, h int, opt PointsOptio
 			X: x, Y: y, Depth: depth, Size: size, Color: colors[i],
 		}
 	})
-	out := compactSprites(sprites, keep)
+	// Compact in place: out aliases sprites' backing array, so ownership of
+	// the pooled slice transfers to the caller through the return.
+	out := sprites[:0]
+	for i, k := range keep {
+		if k {
+			out = append(out, sprites[i])
+		}
+	}
 	keepPool.Put(keep)
 	colorPool.Put(colors)
 	ctrSprites.Add(int64(len(out)))
@@ -202,14 +209,4 @@ func particleColors(p *data.PointCloud, fieldName string, cmap *fb.Colormap, lo,
 		colors[i] = cmap.Lookup(float64(f.Values[i]-lo) * scale)
 	})
 	return colors, nil
-}
-
-func compactSprites(sprites []raster.Sprite, keep []bool) []raster.Sprite {
-	out := sprites[:0]
-	for i, k := range keep {
-		if k {
-			out = append(out, sprites[i])
-		}
-	}
-	return out
 }

@@ -1,0 +1,125 @@
+package lint
+
+import "testing"
+
+const ctxGuardFixture = `package fixture
+
+import "context"
+
+func step(ctx context.Context) error { return ctx.Err() }
+func poll() int                      { return 0 }
+
+// An infinite loop that never looks at its context keeps a supervised
+// role alive after teardown.
+func unguarded(ctx context.Context) {
+	n := 0
+	for { // want "never observes ctx"
+		n += poll()
+	}
+}
+
+// Selecting on ctx.Done() each iteration is the canonical guard.
+func guardedSelect(ctx context.Context, work chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case w := <-work:
+			_ = w
+		}
+	}
+}
+
+// Passing the context to a callee counts: the callee observes it.
+func guardedCall(ctx context.Context) {
+	for {
+		if err := step(ctx); err != nil {
+			return
+		}
+	}
+}
+
+// A Done channel bound from the context is an observation too.
+func guardedDoneChan(ctx context.Context, work chan int) {
+	done := ctx.Done()
+	for {
+		select {
+		case <-done:
+			return
+		case <-work:
+		}
+	}
+}
+
+// Checking ctx.Err() in the loop condition guards a while-shaped loop.
+func guardedCond(ctx context.Context) {
+	for ctx.Err() == nil {
+		poll()
+	}
+}
+
+// No back edge: the body leaves the function on every path, so the CFG
+// proves this "loop" runs at most once.
+func alwaysReturns(ctx context.Context) int {
+	for {
+		return poll()
+	}
+}
+
+// While-shaped spin without any context observation.
+func whileUnguarded(ctx context.Context, ready *bool) {
+	for !*ready { // want "never observes ctx"
+		poll()
+	}
+}
+
+// Counter-stepped loops are bounded by construction: skipped.
+func boundedCounter(ctx context.Context, n int) {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += poll()
+	}
+	_ = sum
+}
+
+// Functions without a context parameter are out of scope.
+func noCtx() {
+	for {
+		if poll() > 0 {
+			return
+		}
+	}
+}
+
+// A function literal with its own ctx parameter is its own scope.
+var handler = func(ctx context.Context) {
+	for { // want "never observes ctx"
+		poll()
+	}
+}
+`
+
+func TestCtxGuard(t *testing.T) {
+	runFixture(t, CtxGuard, "fixture/ctxguard", ctxGuardFixture)
+}
+
+func TestCtxGuardSuppression(t *testing.T) {
+	src := `package fixture
+
+import "context"
+
+func spin() {}
+
+// A deliberate busy-wait documented via directive.
+func calibrate(ctx context.Context) {
+	//lint:ignore ctxguard timing calibration must not be preempted by cancellation
+	for {
+		spin()
+	}
+}
+`
+	res := runFixture(t, CtxGuard, "fixture/ctxguardsup", src)
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1", res.Suppressed)
+	}
+}

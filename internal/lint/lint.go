@@ -22,6 +22,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
 	"regexp"
 	"sort"
 	"strings"
@@ -47,7 +48,51 @@ type Pass struct {
 	PkgPath  string
 	Info     *types.Info
 
-	diags *[]Diagnostic
+	diags   *[]Diagnostic
+	cfgs    map[ast.Node]*CFG
+	cfgDump io.Writer
+}
+
+// CFGOf returns the control-flow graph for fn (an *ast.FuncDecl or
+// *ast.FuncLit), building and caching it on first use. When the driver
+// runs with -cfgdump, every graph built here is also written to the dump
+// sink — the debug mode the fixture harness exercises to prove dumping
+// never changes diagnostics.
+func (p *Pass) CFGOf(fn ast.Node) *CFG {
+	if c, ok := p.cfgs[fn]; ok {
+		return c
+	}
+	c := NewCFG(fn)
+	if p.cfgs == nil {
+		p.cfgs = make(map[ast.Node]*CFG)
+	}
+	p.cfgs[fn] = c
+	if c != nil && p.cfgDump != nil {
+		pos := p.Fset.Position(fn.Pos())
+		fmt.Fprintf(p.cfgDump, "%s:%d: [%s] ", pos.Filename, pos.Line, p.Analyzer.Name)
+		c.Dump(p.cfgDump, p.Fset)
+	}
+	return c
+}
+
+// funcNodes calls fn for every function with a body in the pass's files:
+// declarations and function literals alike. Each literal is its own
+// analysis scope (its own CFG); analyzers that use inspectShallow over
+// block nodes never see a nested literal's body twice.
+func (p *Pass) funcNodes(fn func(node ast.Node, body *ast.BlockStmt)) {
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n, n.Body)
+				}
+			case *ast.FuncLit:
+				fn(n, n.Body)
+			}
+			return true
+		})
+	}
 }
 
 // Reportf records a finding at pos.
@@ -76,11 +121,33 @@ type Result struct {
 	Diagnostics []Diagnostic
 	// Suppressed counts findings silenced by //lint:ignore directives.
 	Suppressed int
+	// Ignores is the number of well-formed //lint:ignore directives in
+	// the analyzed packages — the suppression debt `-max-ignores` gates.
+	Ignores int
+	// IgnoreDirectives lists every well-formed directive with how many
+	// findings it actually silenced in this run; a directive with zero
+	// hits under the full suite is stale.
+	IgnoreDirectives []IgnoreDirective
+}
+
+// IgnoreDirective is one //lint:ignore occurrence.
+type IgnoreDirective struct {
+	Pos       token.Position
+	Analyzers []string
+	Hits      int
+}
+
+// Options tune a Run.
+type Options struct {
+	// CFGDump, when non-nil, receives a textual dump of every CFG any
+	// analyzer builds (driver flag -cfgdump). Dumping must never change
+	// diagnostics; the fixture harness asserts this for every fixture.
+	CFGDump io.Writer
 }
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{SpanEnd, ErrWrap, GuardedField, NakedGo, FloatEq, HotAlloc, JournalEnd, SentinelErr, MetricName}
+	return []*Analyzer{SpanEnd, ErrWrap, GuardedField, NakedGo, FloatEq, HotAlloc, JournalEnd, SentinelErr, MetricName, PoolLeak, LockOrder, CtxGuard}
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -96,6 +163,11 @@ func ByName(name string) *Analyzer {
 // Run executes the analyzers over the packages, applies ignore
 // directives, and returns surviving diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) Result {
+	return RunOpts(pkgs, analyzers, Options{})
+}
+
+// RunOpts is Run with explicit Options.
+func RunOpts(pkgs []*Package, analyzers []*Analyzer, opts Options) Result {
 	var raw []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -107,6 +179,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 				PkgPath:  pkg.PkgPath,
 				Info:     pkg.Info,
 				diags:    &raw,
+				cfgDump:  opts.CFGDump,
 			}
 			a.Run(pass)
 		}
@@ -128,6 +201,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) Result {
 		}
 		res.Diagnostics = append(res.Diagnostics, d)
 	}
+	res.Ignores = len(ig.dirs)
+	for _, dir := range ig.dirs {
+		res.IgnoreDirectives = append(res.IgnoreDirectives, *dir)
+	}
+	sort.Slice(res.IgnoreDirectives, func(i, j int) bool {
+		a, b := res.IgnoreDirectives[i].Pos, res.IgnoreDirectives[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
 	sort.Slice(res.Diagnostics, func(i, j int) bool {
 		a, b := res.Diagnostics[i].Pos, res.Diagnostics[j].Pos
 		if a.Filename != b.Filename {
@@ -153,12 +237,15 @@ type ignoreKey struct {
 }
 
 type ignoreIndex struct {
-	// byLine maps file:line to the analyzer names ignored there.
-	byLine map[ignoreKey][]string
+	// byLine maps file:line to the directives anchored there.
+	byLine map[ignoreKey][]*IgnoreDirective
+	// dirs lists every well-formed directive, for debt accounting and
+	// the stale-suppression audit.
+	dirs []*IgnoreDirective
 }
 
 func newIgnoreIndex() *ignoreIndex {
-	return &ignoreIndex{byLine: make(map[ignoreKey][]string)}
+	return &ignoreIndex{byLine: make(map[ignoreKey][]*IgnoreDirective)}
 }
 
 // collectFile indexes every //lint:ignore directive in f. Malformed
@@ -182,6 +269,7 @@ func (ig *ignoreIndex) collectFile(fset *token.FileSet, f *ast.File, diags *[]Di
 				continue
 			}
 			names := strings.Split(m[1], ",")
+			dir := &IgnoreDirective{Pos: pos}
 			for _, name := range names {
 				if ByName(name) == nil {
 					*diags = append(*diags, Diagnostic{
@@ -191,9 +279,14 @@ func (ig *ignoreIndex) collectFile(fset *token.FileSet, f *ast.File, diags *[]Di
 					})
 					continue
 				}
-				k := ignoreKey{file: pos.Filename, line: pos.Line}
-				ig.byLine[k] = append(ig.byLine[k], name)
+				dir.Analyzers = append(dir.Analyzers, name)
 			}
+			if len(dir.Analyzers) == 0 {
+				continue
+			}
+			ig.dirs = append(ig.dirs, dir)
+			k := ignoreKey{file: pos.Filename, line: pos.Line}
+			ig.byLine[k] = append(ig.byLine[k], dir)
 		}
 	}
 }
@@ -205,9 +298,12 @@ func (ig *ignoreIndex) suppresses(d Diagnostic) bool {
 		return false
 	}
 	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		for _, name := range ig.byLine[ignoreKey{file: d.Pos.Filename, line: line}] {
-			if name == d.Analyzer {
-				return true
+		for _, dir := range ig.byLine[ignoreKey{file: d.Pos.Filename, line: line}] {
+			for _, name := range dir.Analyzers {
+				if name == d.Analyzer {
+					dir.Hits++
+					return true
+				}
 			}
 		}
 	}

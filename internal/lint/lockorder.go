@@ -1,0 +1,341 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder detects inconsistent mutex acquisition order — the classic
+// AB/BA deadlock shape. For every function it solves a forward "held
+// locks" dataflow over the CFG: a sync.Mutex / sync.RWMutex Lock or RLock
+// site reached while another lock is held adds an edge held→acquired to a
+// package-level acquisition-order graph; Unlock/RUnlock removes the lock
+// from the held set on that path (a deferred Unlock holds to function
+// exit, which is exactly the window other locks are acquired in). A cycle
+// in the package graph means two call paths take the same pair of locks
+// in opposite orders, and every acquisition completing a cycle is
+// reported.
+//
+// Lock identity is structural so the graph spans functions: a field
+// selector (s.mu) keys on the receiver's named type and field, a
+// package-level mutex on its variable name, and anything else on the
+// enclosing function plus expression text (still catches AB/BA inside
+// one function).
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "mutexes must be acquired in a consistent order across the package",
+	Run:  runLockOrder,
+}
+
+// lockEdge is one held→acquired observation.
+type lockEdge struct{ from, to string }
+
+func runLockOrder(pass *Pass) {
+	edges := make(map[lockEdge]token.Pos) // first site observed per edge
+	pass.funcNodes(func(fn ast.Node, body *ast.BlockStmt) {
+		collectLockEdges(pass, fn, body, edges)
+	})
+	if len(edges) == 0 {
+		return
+	}
+
+	// Adjacency + Tarjan SCC over the acquisition-order graph.
+	adj := make(map[string][]string)
+	for e := range edges {
+		adj[e.from] = append(adj[e.from], e.to)
+	}
+	scc := stronglyConnected(adj)
+
+	// Deterministic output: report cycle-completing edges sorted by
+	// position.
+	var cyclic []lockEdge
+	for e := range edges {
+		if e.from == e.to || (scc[e.from] != 0 && scc[e.from] == scc[e.to]) {
+			cyclic = append(cyclic, e)
+		}
+	}
+	sort.Slice(cyclic, func(i, j int) bool { return edges[cyclic[i]] < edges[cyclic[j]] })
+	for _, e := range cyclic {
+		pass.Reportf(edges[e],
+			"lock order cycle: %s acquired while %s is held, but another path acquires them in the opposite order",
+			e.to, e.from)
+	}
+}
+
+// collectLockEdges runs the held-locks dataflow over one function.
+func collectLockEdges(pass *Pass, fn ast.Node, body *ast.BlockStmt, edges map[lockEdge]token.Pos) {
+	// Universe of lock keys appearing in this function, in source order.
+	var keys []string
+	index := make(map[string]int)
+	keyOf := func(k string) (int, bool) {
+		if i, ok := index[k]; ok {
+			return i, true
+		}
+		if len(keys) >= FactLimit {
+			return 0, false
+		}
+		index[k] = len(keys)
+		keys = append(keys, k)
+		return len(keys) - 1, true
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if k, op := lockCallKey(pass, fn, call); op != "" {
+				keyOf(k)
+			}
+		}
+		return true
+	})
+	if len(keys) < 2 {
+		return // a single mutex cannot participate in an ordering edge here
+	}
+
+	cfg := pass.CFGOf(fn)
+	if cfg == nil {
+		return
+	}
+	// The transfer both updates the held set and records edges; recording
+	// during the fixpoint would be order-dependent, so the flow is solved
+	// first and edges are emitted in a second deterministic pass over the
+	// converged block in-facts.
+	transfer := func(record bool) func(b *Block, in Facts) Facts {
+		return func(b *Block, in Facts) Facts {
+			out := in
+			for _, n := range b.Nodes {
+				// A deferred Unlock runs at function exit: the lock stays
+				// held for the rest of the flow, which is exactly the
+				// window ordering edges are recorded in.
+				if _, isDefer := n.(*ast.DeferStmt); isDefer {
+					continue
+				}
+				inspectShallow(n, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					k, op := lockCallKey(pass, fn, call)
+					if op == "" {
+						return true
+					}
+					i, ok := keyOf(k)
+					if !ok {
+						return true
+					}
+					switch op {
+					case "lock":
+						if record {
+							for j := 0; j < len(keys); j++ {
+								if j != i && out.Has(j) {
+									e := lockEdge{from: keys[j], to: keys[i]}
+									if _, seen := edges[e]; !seen {
+										edges[e] = call.Pos()
+									}
+								}
+							}
+						}
+						out = out.Add(i)
+					case "unlock":
+						out = out.Del(i)
+					}
+					return true
+				})
+			}
+			return out
+		}
+	}
+	flow := ForwardFlow(cfg, FlowProblem[Facts]{
+		Init:     0,
+		Join:     Facts.Union,
+		Transfer: transfer(false),
+	}, 0)
+	if !flow.Converged {
+		return
+	}
+	rec := transfer(true)
+	for _, b := range cfg.ReversePostorder() {
+		in, ok := flow.In[b]
+		if !ok && b != cfg.Entry {
+			continue
+		}
+		rec(b, in)
+	}
+}
+
+// lockCallKey classifies call as a mutex operation. op is "lock",
+// "unlock", or "" for not-a-mutex-call; key identifies the mutex.
+func lockCallKey(pass *Pass, fn ast.Node, call *ast.CallExpr) (key, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return "", ""
+	}
+	if !isSyncMutex(exprType(pass, sel.X)) {
+		return "", ""
+	}
+	return lockIdent(pass, fn, sel.X), op
+}
+
+// exprType resolves an expression's type; plain identifiers are not
+// recorded in Info.Types, so they go through Uses.
+func exprType(pass *Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.Info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.Info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// isSyncMutex reports whether t (or its pointee) is sync.Mutex or
+// sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockIdent derives the structural identity of the locked expression.
+func lockIdent(pass *Pass, fn ast.Node, x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		// recv.mu — key on the receiver's named type + field so the same
+		// field locked in different methods is one node in the graph.
+		if tv, ok := pass.Info.Types[x.X]; ok {
+			t := tv.Type
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return named.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if obj := pass.Info.Uses[x]; obj != nil {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return "var " + obj.Name() // package-level mutex
+			}
+			// Function-local: scope the key to this function so unrelated
+			// locals in other functions do not collide.
+			return funcDisplayName(fn) + "." + obj.Name()
+		}
+	}
+	return funcDisplayName(fn) + "." + exprText(x)
+}
+
+func funcDisplayName(fn ast.Node) string {
+	if fd, ok := fn.(*ast.FuncDecl); ok {
+		return fd.Name.Name
+	}
+	return fmt.Sprintf("lit@%d", fn.Pos())
+}
+
+// exprText renders a fallback identity for unusual lock expressions.
+func exprText(x ast.Expr) string {
+	var sb strings.Builder
+	ast.Inspect(x, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			sb.WriteString(id.Name)
+			sb.WriteByte('.')
+		}
+		return true
+	})
+	return strings.TrimSuffix(sb.String(), ".")
+}
+
+// stronglyConnected returns a component id per node (Tarjan); nodes in a
+// multi-node component share a nonzero id, trivial components get 0.
+func stronglyConnected(adj map[string][]string) map[string]int {
+	var nodes []string
+	seen := make(map[string]bool)
+	addNode := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	for from, tos := range adj {
+		addNode(from)
+		for _, to := range tos {
+			addNode(to)
+		}
+	}
+	sort.Strings(nodes)
+
+	idx := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	next, compID := 1, 0
+
+	var strong func(v string)
+	strong = func(v string) {
+		idx[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		ws := append([]string(nil), adj[v]...)
+		sort.Strings(ws)
+		for _, w := range ws {
+			if idx[w] == 0 {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && idx[w] < low[v] {
+				low[v] = idx[w]
+			}
+		}
+		if low[v] == idx[v] {
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			if len(members) > 1 {
+				compID++
+				for _, m := range members {
+					comp[m] = compID
+				}
+			}
+		}
+	}
+	for _, n := range nodes {
+		if idx[n] == 0 {
+			strong(n)
+		}
+	}
+	return comp
+}

@@ -1,0 +1,213 @@
+package lint
+
+import "testing"
+
+// The fixture declares pool shapes matching internal/mempool's conventions
+// (package-level Bytes/PutBytes and AcquireFrame*/ReleaseFrame, a generic
+// SlicePool with Get/Put) so the analyzer is exercised without importing
+// the real package.
+const poolLeakFixture = `package fixture
+
+import "errors"
+
+func Bytes(n int) []byte { return make([]byte, n) }
+func PutBytes(b []byte)  {}
+
+type Frame struct{ W, H int }
+
+func AcquireFrame(w, h int) *Frame          { return &Frame{w, h} }
+func AcquireFrameUncleared(w, h int) *Frame { return &Frame{w, h} }
+func ReleaseFrame(f *Frame)                 {}
+
+type SlicePool[T any] struct{}
+
+func (p *SlicePool[T]) Get(n int) []T { return make([]T, n) }
+func (p *SlicePool[T]) Put(s []T)     {}
+
+var pool SlicePool[int]
+
+// Early error return skips the release: the PR 3 pool-ownership bug class.
+func leakOnError(fail bool) error {
+	buf := Bytes(64) // want "pooled buffer from Bytes is not released on every path"
+	if fail {
+		return errors.New("boom")
+	}
+	PutBytes(buf)
+	return nil
+}
+
+// Released on both branches: correct on all paths.
+func releasedOnAllPaths(fail bool) error {
+	buf := Bytes(64)
+	if fail {
+		PutBytes(buf)
+		return errors.New("boom")
+	}
+	PutBytes(buf)
+	return nil
+}
+
+// A deferred release covers every exit, including panic unwinding.
+func releasedByDefer(fail bool) error {
+	buf := Bytes(64)
+	defer PutBytes(buf)
+	if fail {
+		return errors.New("boom")
+	}
+	buf[0] = 1
+	return nil
+}
+
+// A deferred closure releasing the buffer counts too.
+func releasedByDeferClosure() {
+	buf := Bytes(8)
+	defer func() { PutBytes(buf) }()
+	buf[0] = 1
+}
+
+// Returning the buffer transfers ownership on that path; the error path
+// releases explicitly. No finding.
+func returnedOwnership(fail bool) ([]byte, error) {
+	buf := Bytes(64)
+	if fail {
+		PutBytes(buf)
+		return nil, errors.New("boom")
+	}
+	return buf, nil
+}
+
+// The rt.scalarColors shape: success path returns the buffer, error path
+// returns nil and leaks it.
+func leakReturningNil(bad bool) ([]byte, error) {
+	buf := Bytes(64) // want "not released on every path"
+	if bad {
+		return nil, errors.New("no field")
+	}
+	return buf, nil
+}
+
+// Explicit panic exits are exempt: panicking functions owe the pool
+// nothing.
+func panicPathExempt(bad bool) {
+	buf := Bytes(8)
+	if bad {
+		panic("bad")
+	}
+	PutBytes(buf)
+}
+
+// SlicePool.Get / Put pairing, leaked on the early return.
+func leakSlice(fail bool) error {
+	s := pool.Get(10) // want "pooled buffer from SlicePool.Get"
+	if fail {
+		return errors.New("x")
+	}
+	pool.Put(s)
+	return nil
+}
+
+// Frame acquisition leaked when the error path returns nil.
+func leakFrame(fail bool) (*Frame, error) {
+	f := AcquireFrameUncleared(4, 4) // want "pooled buffer from AcquireFrameUncleared"
+	if fail {
+		return nil, errors.New("copy failed")
+	}
+	return f, nil
+}
+
+// Released in a helper borrow? No: passing to a call is a borrow; the
+// release before both exits keeps this clean.
+func borrowedByCallee(fail bool) error {
+	buf := Bytes(32)
+	fill(buf)
+	if fail {
+		PutBytes(buf)
+		return errors.New("late")
+	}
+	PutBytes(buf)
+	return nil
+}
+
+func fill(b []byte) {}
+
+// Storing into a struct transfers ownership; the new owner releases.
+type holder struct{ b []byte }
+
+func escapesToStruct(h *holder) {
+	buf := Bytes(8)
+	h.b = buf
+}
+
+// Discarding the acquisition outright.
+func discarded() {
+	_ = Bytes(8) // want "discarded"
+}
+
+// Acquire/release balanced inside a loop body.
+func loopReleased(n int) {
+	for i := 0; i < n; i++ {
+		buf := Bytes(16)
+		buf[0] = byte(i)
+		PutBytes(buf)
+	}
+}
+
+// A continue that skips the release leaks one iteration's buffer.
+func loopLeakViaContinue(n int) {
+	for i := 0; i < n; i++ {
+		buf := Bytes(16) // want "not released on every path"
+		if i%2 == 0 {
+			continue
+		}
+		PutBytes(buf)
+	}
+}
+
+// Capture by a read/index-only closure (the par.For shape) is a borrow,
+// so the leak on the error return is still visible through it.
+func leakWithWorkerClosure(bad bool) ([]byte, error) {
+	buf := Bytes(64) // want "not released on every path"
+	work(func(i int) { buf[i] = 0 })
+	if bad {
+		return nil, errors.New("no field")
+	}
+	return buf, nil
+}
+
+func work(f func(int)) { f(0) }
+
+// Capture by a closure that stores the buffer elsewhere escapes: the
+// closure owns its fate now.
+var sink []byte
+
+func escapesViaClosure() {
+	buf := Bytes(8)
+	work(func(i int) { sink = buf })
+}
+`
+
+func TestPoolLeak(t *testing.T) {
+	runFixture(t, PoolLeak, "fixture/poolleak", poolLeakFixture)
+}
+
+func TestPoolLeakSuppression(t *testing.T) {
+	src := `package fixture
+
+func Bytes(n int) []byte { return make([]byte, n) }
+func PutBytes(b []byte)  {}
+
+func intentional(fail bool) error {
+	//lint:ignore poolleak the arena frees everything at step end
+	buf := Bytes(64)
+	buf[0] = 1
+	return nil
+}
+`
+	res := runFixture(t, PoolLeak, "fixture/poolleaksup", src)
+	if res.Suppressed != 1 {
+		t.Errorf("Suppressed = %d, want 1", res.Suppressed)
+	}
+	if res.Ignores != 1 {
+		t.Errorf("Ignores = %d, want 1", res.Ignores)
+	}
+}

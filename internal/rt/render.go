@@ -125,6 +125,7 @@ func scalarColors(p *data.PointCloud, fieldName string, cmap *fb.Colormap, lo, h
 	}
 	f, err := p.Field(fieldName)
 	if err != nil {
+		colorPool.Put(colors)
 		return nil, fmt.Errorf("rt: color field: %w", err)
 	}
 	if cmap == nil {

@@ -255,6 +255,13 @@ func (s *Supervisor) attempt(ctx context.Context, task Task) error {
 		case err := <-done:
 			return err
 		case <-tick.C:
+			if ctx.Err() != nil {
+				// Shutdown is already in flight: actx is canceled with it, so
+				// the task is unwinding, not stalling. Keeping the watchdog
+				// armed here would misclassify a slow teardown as ErrStalled
+				// and burn a restart on a run that is exiting; just join.
+				return <-done
+			}
 			if v := s.cfg.Probe(); v != last {
 				last, lastChange = v, time.Now()
 				if s.cfg.Observer != nil {

@@ -232,3 +232,41 @@ func TestExitCode(t *testing.T) {
 		}
 	}
 }
+
+// TestShutdownDrainIsNotStalled is a regression test for a watchdog
+// misclassification found by the ctxguard analyzer: the watchdog loop
+// never observed the run context, so a graceful shutdown whose drain
+// outlasted the stall window was torn down as a stall — firing Interrupt
+// and counting a spurious restart cause against a run that was already
+// exiting. The watchdog must stand down once shutdown is in flight.
+func TestShutdownDrainIsNotStalled(t *testing.T) {
+	var progress atomic.Int64
+	var interrupted atomic.Int64
+	cfg := fastCfg("sim", 3)
+	cfg.Stall = 30 * time.Millisecond
+	cfg.Probe = progress.Load
+	cfg.Interrupt = func() { interrupted.Add(1) }
+	cfg.Journal = journal.New()
+	s := New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	err := s.Run(ctx, func(tctx context.Context) error {
+		cancel()
+		// Drain for longer than the stall window without progress — a slow
+		// but orderly teardown, not a hang.
+		time.Sleep(4 * cfg.Stall)
+		<-tctx.Done()
+		return fmt.Errorf("drained: %w", ErrShutdown)
+	})
+	if !errors.Is(err, ErrShutdown) {
+		t.Fatalf("err = %v, want ErrShutdown", err)
+	}
+	if errors.Is(err, ErrStalled) {
+		t.Fatalf("slow drain misclassified as stall: %v", err)
+	}
+	if interrupted.Load() != 0 {
+		t.Fatal("watchdog fired Interrupt during a graceful shutdown drain")
+	}
+	if s.Restarts() != 0 {
+		t.Fatalf("restarts = %d, want 0", s.Restarts())
+	}
+}
