@@ -20,10 +20,12 @@ sarif:
 	go run ./cmd/ethlint -sarif -max-ignores 20 -stale-ignores ./... > ethlint.sarif
 
 # Short fuzz passes over the dataset container reader and the framed
-# wire format (checksummed dataset frames must detect any byte flip).
+# wire format (checksummed dataset frames must detect any byte flip,
+# for every codec; temporal codecs must reconstruct bit-exactly).
 fuzz:
 	go test -run='^$$' -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio/
 	go test -run='^$$' -fuzz=FuzzFrameFlip -fuzztime=10s ./internal/transport/
+	go test -run='^$$' -fuzz=FuzzDeltaRoundTrip -fuzztime=10s ./internal/transport/
 
 # Full gate: vet + build + ethlint + race-enabled tests + short fuzz pass.
 check:

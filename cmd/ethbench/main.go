@@ -50,7 +50,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ethbench: ")
 
-	only := flag.String("only", "", "run a single experiment (table1, table2, fig8..fig15)")
+	only := flag.String("only", "", "run a single experiment (table1, table2, fig8..fig15, codecs)")
 	csvDir := flag.String("csv", "", "directory to write CSV copies")
 	calibrated := flag.Bool("calibrated", false, "use this machine's measured kernel costs for the model")
 	particles := flag.Int("particles", 200_000, "particle count for the measured (RMSE) renders")
@@ -92,8 +92,9 @@ func main() {
 		"fig10": experiments.Fig10, "fig11": experiments.Fig11,
 		"fig12": experiments.Fig12, "fig13": experiments.Fig13,
 		"fig14": experiments.Fig14, "fig15": experiments.Fig15,
+		"codecs": experiments.Codecs,
 	}
-	order := []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+	order := []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "codecs"}
 	if *only != "" {
 		if _, ok := runs[*only]; !ok {
 			log.Fatalf("unknown experiment %q", *only)

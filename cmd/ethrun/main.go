@@ -41,6 +41,7 @@ import (
 	"github.com/ascr-ecx/eth/internal/render"
 	"github.com/ascr-ecx/eth/internal/sampling"
 	"github.com/ascr-ecx/eth/internal/supervise"
+	"github.com/ascr-ecx/eth/internal/transport"
 )
 
 func main() {
@@ -69,6 +70,8 @@ func main() {
 	height := flag.Int("height", 512, "measured: image height")
 	imagesM := flag.Int("images", 3, "measured: images per step")
 	mode := flag.String("mode", "unified", "measured: coupling mode (unified or socket)")
+	codec := flag.String("codec", "raw",
+		fmt.Sprintf("measured: socket-mode wire codec, one of %v", transport.Codecs()))
 	method := flag.String("method", "random", "measured: sampling method (random, stride, stratified)")
 	out := flag.String("out", "", "measured: directory for PNG artifacts")
 
@@ -110,7 +113,7 @@ func main() {
 			particles: *particles, grid: *grid, steps: *steps,
 			algorithm: *algorithm, ranks: *ranks,
 			width: *width, height: *height, images: *imagesM,
-			mode: *mode, ratio: *ratio, method: *method, out: *out,
+			mode: *mode, codec: *codec, ratio: *ratio, method: *method, out: *out,
 			trace: *trace, obsAddr: *obsAddr,
 			faultsFile: *faultsFile, faultSeed: *faultSeed,
 			retries: *retries, skips: *skips, ioTimeout: *ioTimeout,
@@ -236,7 +239,7 @@ type measuredArgs struct {
 	algorithm              string
 	ranks                  int
 	width, height, images  int
-	mode                   string
+	mode, codec            string
 	ratio                  float64
 	method, out            string
 	trace                  string
@@ -352,6 +355,7 @@ func runMeasured(a measuredArgs) {
 		LayoutPath:     layout,
 		SamplingRatio:  a.ratio,
 		SamplingMethod: sm,
+		Codec:          a.codec,
 		OutDir:         a.out,
 		Journal:        jw,
 		Policy:         buildPolicy(a),

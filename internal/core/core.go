@@ -36,6 +36,7 @@ import (
 	"github.com/ascr-ecx/eth/internal/sampling"
 	"github.com/ascr-ecx/eth/internal/supervise"
 	"github.com/ascr-ecx/eth/internal/telemetry"
+	"github.com/ascr-ecx/eth/internal/transport"
 )
 
 // Workload produces the datasets an experiment replays.
@@ -121,8 +122,13 @@ type MeasuredSpec struct {
 	SamplingRatio float64
 	// SamplingMethod selects the point-sampling strategy.
 	SamplingMethod sampling.Method
-	// Compress enables wire compression in socket mode.
+	// Compress enables wire compression in socket mode (legacy sugar for
+	// Codec: "flate"; ignored when Codec is set).
 	Compress bool
+	// Codec names the socket-mode wire codec ("raw", "flate", "delta",
+	// "delta+flate"; "" defers to Compress) — the transport axis of the
+	// design space, sweepable like sampling or the algorithm.
+	Codec string
 	// Operations are in-situ analysis steps run by every viz proxy.
 	Operations []proxy.Operation
 	// Options carries rendering parameters.
@@ -173,6 +179,9 @@ func (s MeasuredSpec) Validate() error {
 	}
 	if s.Mode == coupling.Socket && s.LayoutPath == "" {
 		return fmt.Errorf("core: socket mode needs a layout path")
+	}
+	if _, err := transport.ParseCodec(s.Codec); err != nil {
+		return err
 	}
 	return nil
 }
@@ -290,6 +299,7 @@ func RunMeasured(spec MeasuredSpec) (MeasuredResult, error) {
 			SamplingMethod: spec.SamplingMethod,
 			Seed:           int64(r) + 1,
 			Compress:       spec.Compress,
+			Codec:          spec.Codec,
 			Journal:        jw,
 		}, &proxy.MemSource{Data: datasets})
 		if err != nil {

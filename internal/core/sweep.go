@@ -6,6 +6,7 @@ import (
 
 	"github.com/ascr-ecx/eth/internal/fb"
 	"github.com/ascr-ecx/eth/internal/metrics"
+	"github.com/ascr-ecx/eth/internal/transport"
 )
 
 // Sweep runs the cartesian product of design-space choices over a base
@@ -23,6 +24,11 @@ type Sweep struct {
 	SamplingRatios []float64
 	// RankCounts to sweep; empty means {Base.Ranks or 1}.
 	RankCounts []int
+	// Codecs to sweep over the socket transport ("raw", "flate", "delta",
+	// "delta+flate"); empty means {Base.Codec}. Only socket-mode sweeps
+	// move bytes, but the axis is accepted everywhere so a layout file can
+	// flip coupling without editing the sweep.
+	Codecs []string
 }
 
 // SweepPoint is one evaluated variant.
@@ -30,6 +36,7 @@ type SweepPoint struct {
 	Algorithm string
 	Ratio     float64
 	Ranks     int
+	Codec     string
 	Result    MeasuredResult
 	// RMSE and SSIM compare this variant's frame against the same
 	// algorithm's unsampled single-set reference (0 and 1 for the
@@ -60,10 +67,19 @@ func RunSweep(sw Sweep) ([]SweepPoint, *metrics.Table, error) {
 		}
 		rankCounts = []int{r}
 	}
+	codecs := sw.Codecs
+	if len(codecs) == 0 {
+		codecs = []string{sw.Base.Codec}
+	}
+	for _, name := range codecs {
+		if _, err := transport.ParseCodec(name); err != nil {
+			return nil, nil, err
+		}
+	}
 
 	tab := metrics.NewTable(
 		fmt.Sprintf("Design-space sweep over %s", sw.Base.Workload.Name),
-		"Algorithm", "Ranks", "Ratio", "Wall (s)", "Render (s)", "Elements", "RMSE", "SSIM")
+		"Algorithm", "Ranks", "Ratio", "Codec", "Wall (s)", "Render (s)", "Elements", "Wire MB", "RMSE", "SSIM")
 
 	var points []SweepPoint
 	// references[alg][ranks] holds the unsampled frame for quality
@@ -74,38 +90,52 @@ func RunSweep(sw Sweep) ([]SweepPoint, *metrics.Table, error) {
 		references[alg] = map[int]*fb.Frame{}
 		for _, ranks := range rankCounts {
 			for _, ratio := range ratios {
-				spec := sw.Base
-				spec.Algorithm = alg
-				spec.Ranks = ranks
-				spec.SamplingRatio = ratio
-				res, err := RunMeasured(spec)
-				if err != nil {
-					return nil, nil, fmt.Errorf("core: sweep %s/%d/%.2f: %w", alg, ranks, ratio, err)
-				}
-				pt := SweepPoint{Algorithm: alg, Ratio: ratio, Ranks: ranks, Result: res}
-				if ratio >= 1 && len(res.Frames) > 0 {
-					references[alg][ranks] = res.Frames[0]
-				}
-				if ref := references[alg][ranks]; ref != nil && len(res.Frames) > 0 {
-					rmse, err := fb.RMSE(ref, res.Frames[0])
-					if err == nil {
-						ssim, serr := fb.SSIM(ref, res.Frames[0])
-						if serr == nil {
-							pt.RMSE, pt.SSIM, pt.HasQuality = rmse, ssim, true
+				for _, codec := range codecs {
+					spec := sw.Base
+					spec.Algorithm = alg
+					spec.Ranks = ranks
+					spec.SamplingRatio = ratio
+					spec.Codec = codec
+					res, err := RunMeasured(spec)
+					if err != nil {
+						return nil, nil, fmt.Errorf("core: sweep %s/%d/%.2f/%s: %w", alg, ranks, ratio, codecName(codec), err)
+					}
+					pt := SweepPoint{Algorithm: alg, Ratio: ratio, Ranks: ranks, Codec: codecName(codec), Result: res}
+					// Codecs are lossless, so the first ratio-1 variant of
+					// an algorithm/rank pair serves as the quality reference
+					// for every codec.
+					if ratio >= 1 && len(res.Frames) > 0 && references[alg][ranks] == nil {
+						references[alg][ranks] = res.Frames[0]
+					}
+					if ref := references[alg][ranks]; ref != nil && len(res.Frames) > 0 {
+						rmse, err := fb.RMSE(ref, res.Frames[0])
+						if err == nil {
+							ssim, serr := fb.SSIM(ref, res.Frames[0])
+							if serr == nil {
+								pt.RMSE, pt.SSIM, pt.HasQuality = rmse, ssim, true
+							}
 						}
 					}
+					points = append(points, pt)
+					rmseCell, ssimCell := "-", "-"
+					if pt.HasQuality {
+						rmseCell = fmt.Sprintf("%.4f", pt.RMSE)
+						ssimCell = fmt.Sprintf("%.4f", pt.SSIM)
+					}
+					tab.AddRow(alg, ranks, ratio, pt.Codec,
+						res.Wall.Seconds(), res.RenderTime.Seconds(), res.Elements,
+						float64(res.BytesMoved)/1e6, rmseCell, ssimCell)
 				}
-				points = append(points, pt)
-				rmseCell, ssimCell := "-", "-"
-				if pt.HasQuality {
-					rmseCell = fmt.Sprintf("%.4f", pt.RMSE)
-					ssimCell = fmt.Sprintf("%.4f", pt.SSIM)
-				}
-				tab.AddRow(alg, ranks, ratio,
-					res.Wall.Seconds(), res.RenderTime.Seconds(), res.Elements,
-					rmseCell, ssimCell)
 			}
 		}
 	}
 	return points, tab, nil
+}
+
+// codecName maps the empty sweep value to its effective codec for display.
+func codecName(c string) string {
+	if c == "" {
+		return "raw"
+	}
+	return c
 }

@@ -26,13 +26,15 @@ import (
 
 // chaosPair builds a single-rank pair whose proxies journal into jw, so
 // viz-side resume events land next to the driver's retry/skip events.
-func chaosPair(t *testing.T, steps int, compress bool, jw *journal.Writer) PairSpec {
+// codec names the wire codec ("" = raw); temporal codecs exercise the
+// keyframe resynchronization path on every reconnect.
+func chaosPair(t *testing.T, steps int, codec string, jw *journal.Writer) PairSpec {
 	t.Helper()
 	var datasets []data.Dataset
 	for s := 0; s < steps; s++ {
 		datasets = append(datasets, testCloud(400, int64(s)+1))
 	}
-	sim, err := proxy.NewSimProxy(proxy.SimConfig{Compress: compress, Journal: jw}, &proxy.MemSource{Data: datasets})
+	sim, err := proxy.NewSimProxy(proxy.SimConfig{Codec: codec, Journal: jw}, &proxy.MemSource{Data: datasets})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,13 +58,13 @@ func fastBackoff() transport.Backoff {
 }
 
 type chaosScenario struct {
-	name     string
-	steps    int
-	compress bool
-	rules    []faults.Rule
-	retries  int           // Policy.MaxRetries
-	skips    int           // Policy.MaxSkips
-	ioTO     time.Duration // Policy.IOTimeout
+	name    string
+	steps   int
+	codec   string // wire codec; "" = raw
+	rules   []faults.Rule
+	retries int           // Policy.MaxRetries
+	skips   int           // Policy.MaxSkips
+	ioTO    time.Duration // Policy.IOTimeout
 
 	wantErr      error // sentinel the run error must wrap; nil = success
 	wantRendered []int // steps rendered, in order, each exactly once
@@ -97,7 +99,7 @@ func chaosSignature(jw *journal.Writer, rep Report, err error) []string {
 func runChaos(t *testing.T, sc chaosScenario) []string {
 	t.Helper()
 	jw := journal.New()
-	pair := chaosPair(t, sc.steps, sc.compress, jw)
+	pair := chaosPair(t, sc.steps, sc.codec, jw)
 	sched := faults.New(42, sc.rules...)
 	pol := Policy{
 		MaxRetries: sc.retries,
@@ -147,7 +149,7 @@ func runChaos(t *testing.T, sc chaosScenario) []string {
 
 // chaosScenarios is the table: every entry is reproducible from seed 42
 // and covers one distinct failure/recovery path. Corrupt positions are
-// explicit (past the 17-byte dataset header) so the failure class is
+// explicit (past the 18-byte v3 dataset header) so the failure class is
 // pinned to a payload checksum mismatch.
 var chaosScenarios = []chaosScenario{
 	{
@@ -165,9 +167,35 @@ var chaosScenarios = []chaosScenario{
 	{
 		// Same flip on a compressed stream: the checksum verdict must win
 		// over the flate decode error it also causes.
-		name: "corrupt-compressed", steps: 3, compress: true, retries: 2,
+		name: "corrupt-compressed", steps: 3, codec: "flate", retries: 2,
 		rules:        []faults.Rule{{Side: faults.SideSim, Conn: 0, Op: faults.OpWrite, Nth: 1, Action: faults.Corrupt, Pos: 30}},
 		wantRendered: []int{0, 1, 2}, wantRetries: 1, wantCause: "checksum", wantFired: 1,
+	},
+	{
+		// The same flip on a delta stream hits the frame carrying step 1 —
+		// a true delta frame, since step 0 opened the connection as a
+		// keyframe. The reconnect builds fresh Conns, so the resumed step
+		// arrives as a new keyframe and the temporal state resynchronizes
+		// without any out-of-band signal.
+		name: "corrupt-delta", steps: 3, codec: "delta", retries: 2,
+		rules:        []faults.Rule{{Side: faults.SideSim, Conn: 0, Op: faults.OpWrite, Nth: 1, Action: faults.Corrupt, Pos: 30}},
+		wantRendered: []int{0, 1, 2}, wantRetries: 1, wantCause: "checksum", wantFired: 1,
+	},
+	{
+		// And on the composed codec: a corrupted delta+flate residual must
+		// surface as the checksum verdict (never a mis-inflated dataset)
+		// and recover through the flate-encoded keyframe.
+		name: "corrupt-delta-flate", steps: 3, codec: "delta+flate", retries: 2,
+		rules:        []faults.Rule{{Side: faults.SideSim, Conn: 0, Op: faults.OpWrite, Nth: 1, Action: faults.Corrupt, Pos: 30}},
+		wantRendered: []int{0, 1, 2}, wantRetries: 1, wantCause: "checksum", wantFired: 1,
+	},
+	{
+		// Kill the socket mid-delta-stream: recovery must come from the
+		// keyframe path alone (the old reference state dies with the
+		// connection on both sides).
+		name: "reset-mid-delta", steps: 3, codec: "delta", retries: 2,
+		rules:        []faults.Rule{{Side: faults.SideSim, Conn: 0, Op: faults.OpWrite, Nth: 1, Action: faults.Reset}},
+		wantRendered: []int{0, 1, 2}, wantRetries: 1, wantCause: "injected", wantFired: 1,
 	},
 	{
 		// Kill the connection mid-dataset: half of step 1's frame is
@@ -229,8 +257,8 @@ var chaosScenarios = []chaosScenario{
 		// pair must give up with the typed checksum error after the retry
 		// budget, not hang or succeed.
 		name: "exhaust-then-fail", steps: 2, retries: 1,
-		rules:   []faults.Rule{{Side: faults.SideSim, Conn: faults.Any, Op: faults.OpWrite, Nth: faults.Any, Action: faults.Corrupt, Pos: 30}},
-		wantErr: transport.ErrChecksum,
+		rules:        []faults.Rule{{Side: faults.SideSim, Conn: faults.Any, Op: faults.OpWrite, Nth: faults.Any, Action: faults.Corrupt, Pos: 30}},
+		wantErr:      transport.ErrChecksum,
 		wantRendered: nil, wantRetries: 1, wantCause: "checksum", wantFired: 2,
 	},
 }
@@ -258,7 +286,7 @@ func TestChaosScenarios(t *testing.T) {
 // exactly once.
 func TestChaosDuplicateNotRerendered(t *testing.T) {
 	jw := journal.New()
-	pair := chaosPair(t, 3, false, jw)
+	pair := chaosPair(t, 3, "", jw)
 	pol := Policy{
 		MaxRetries: 2, IOTimeout: 250 * time.Millisecond,
 		Backoff: fastBackoff(), Seed: 7,
@@ -291,6 +319,63 @@ func TestChaosDuplicateNotRerendered(t *testing.T) {
 	}
 	if len(seen) != 3 {
 		t.Errorf("rendered %d distinct steps, want 3", len(seen))
+	}
+}
+
+// TestChaosCodecRecoveryBitExact is the provable-resync gate for the
+// temporal codecs: the same corruption-and-reconnect schedule runs under
+// raw, delta, and delta+flate, and every rendered step's final frame
+// must be byte-identical to the raw run's — colors and depths both. XOR
+// deltas are length-preserving, so the raw and delta runs even see the
+// fault at the same byte of the same write; delta+flate reshapes the
+// wire but must still converge to the identical images after its
+// keyframe resync. Render lists and retry/skip counts must agree too.
+func TestChaosCodecRecoveryBitExact(t *testing.T) {
+	run := func(codec string) Report {
+		t.Helper()
+		jw := journal.New()
+		pair := chaosPair(t, 4, codec, jw)
+		pol := Policy{
+			MaxRetries: 2,
+			Backoff:    fastBackoff(),
+			Seed:       42,
+			Faults: faults.New(42, faults.Rule{
+				Side: faults.SideSim, Conn: 0, Op: faults.OpWrite, Nth: 2, Action: faults.Corrupt, Pos: 30,
+			}),
+		}
+		layout := filepath.Join(t.TempDir(), "layout")
+		rep, err := RunSocketPairPolicy(pair.Sim, pair.Viz, layout, 0, pol, jw)
+		if err != nil {
+			t.Fatalf("%s run failed: %v", codec, err)
+		}
+		return rep
+	}
+	base := run("")
+	if base.Retries != 1 {
+		t.Fatalf("baseline retries = %d, want 1 (schedule did not fire)", base.Retries)
+	}
+	for _, codec := range []string{"delta", "delta+flate"} {
+		rep := run(codec)
+		if rep.Retries != base.Retries || rep.Skipped != base.Skipped {
+			t.Errorf("%s: retries=%d skipped=%d, raw run had %d/%d",
+				codec, rep.Retries, rep.Skipped, base.Retries, base.Skipped)
+		}
+		if len(rep.Viz.Results) != len(base.Viz.Results) {
+			t.Fatalf("%s rendered %d steps, raw rendered %d", codec, len(rep.Viz.Results), len(base.Viz.Results))
+		}
+		for i, want := range base.Viz.Results {
+			got := rep.Viz.Results[i]
+			if got.Step != want.Step {
+				t.Errorf("%s result %d: step %d, raw step %d", codec, i, got.Step, want.Step)
+				continue
+			}
+			if !reflect.DeepEqual(got.LastFrame.Color, want.LastFrame.Color) {
+				t.Errorf("%s step %d: colors differ from raw run", codec, got.Step)
+			}
+			if !reflect.DeepEqual(got.LastFrame.Depth, want.LastFrame.Depth) {
+				t.Errorf("%s step %d: depths differ from raw run", codec, got.Step)
+			}
+		}
 	}
 }
 

@@ -9,12 +9,16 @@ package experiments
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 
 	"github.com/ascr-ecx/eth/internal/cluster"
 	"github.com/ascr-ecx/eth/internal/core"
+	"github.com/ascr-ecx/eth/internal/coupling"
 	"github.com/ascr-ecx/eth/internal/fb"
 	"github.com/ascr-ecx/eth/internal/metrics"
 	"github.com/ascr-ecx/eth/internal/sampling"
+	"github.com/ascr-ecx/eth/internal/transport"
 )
 
 // Config scales the experiments. Defaults (via DefaultConfig) match the
@@ -423,13 +427,61 @@ func Fig15(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// All runs every experiment and returns them keyed by id, in paper order.
+// Codecs measures the wire-codec axis of the design space on the real
+// socket transport: a multi-step HACC stream is coupled through sockets
+// once per codec (raw, flate, delta, delta+flate), reporting wall time
+// and bytes moved across the in-situ interface. Successive steps of the
+// same simulation are what the temporal codecs key against; every run
+// renders the same frames, so the rows differ only in transport cost.
+func Codecs(cfg Config) (Result, error) {
+	tab := metrics.NewTable(
+		"Codec sweep: wire bytes and wall time per transport codec (HACC, socket coupling)",
+		"Codec", "Wall (s)", "Wire MB", "vs raw")
+	res := Result{Table: tab, Series: map[string][]float64{}}
+	dir, err := os.MkdirTemp("", "eth-codec-sweep-*")
+	if err != nil {
+		return res, err
+	}
+	defer os.RemoveAll(dir)
+	var rawMB float64
+	for i, codec := range transport.Codecs() {
+		r, err := core.RunMeasured(core.MeasuredSpec{
+			Workload:      core.HACCWorkload(cfg.MeasuredParticles, 4, 11),
+			Algorithm:     "points",
+			Width:         cfg.MeasuredSize,
+			Height:        cfg.MeasuredSize,
+			ImagesPerStep: 1,
+			Mode:          coupling.Socket,
+			LayoutPath:    filepath.Join(dir, codec+".layout"),
+			Codec:         codec,
+		})
+		if err != nil {
+			return res, fmt.Errorf("experiments: codec %s: %w", codec, err)
+		}
+		wireMB := float64(r.BytesMoved) / 1e6
+		if i == 0 {
+			rawMB = wireMB
+		}
+		ratio := 1.0
+		if rawMB > 0 {
+			ratio = wireMB / rawMB
+		}
+		tab.AddRow(codec, r.Wall.Seconds(), wireMB, ratio)
+		res.Series["wall"] = append(res.Series["wall"], r.Wall.Seconds())
+		res.Series["wireMB"] = append(res.Series["wireMB"], wireMB)
+	}
+	return res, nil
+}
+
+// All runs every experiment and returns them keyed by id, in paper order
+// (plus the harness-level codec sweep).
 func All(cfg Config) ([]string, map[string]Result, error) {
-	order := []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15"}
+	order := []string{"table1", "table2", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "codecs"}
 	runs := map[string]func(Config) (Result, error){
 		"table1": Table1, "table2": Table2,
 		"fig8": Fig8, "fig9": Fig9, "fig10": Fig10, "fig11": Fig11,
 		"fig12": Fig12, "fig13": Fig13, "fig14": Fig14, "fig15": Fig15,
+		"codecs": Codecs,
 	}
 	out := map[string]Result{}
 	for _, id := range order {

@@ -227,12 +227,35 @@ func TestFig15Shape(t *testing.T) {
 	}
 }
 
+func TestCodecsExperiment(t *testing.T) {
+	res, err := Codecs(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := res.Series["wireMB"]
+	if len(wire) != 4 {
+		t.Fatalf("codec sweep produced %d rows, want 4", len(wire))
+	}
+	// raw=0 flate=1 delta=2 delta+flate=3 (transport.Codecs order).
+	if wire[1] >= wire[0] {
+		t.Errorf("flate moved %.3f MB, raw %.3f MB: compression should shrink the wire", wire[1], wire[0])
+	}
+	// XOR deltas are length-preserving, so the delta stream's wire bytes
+	// match raw exactly (one keyframe + length-preserving residuals).
+	if diff := wire[2] - wire[0]; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("delta moved %.6f MB, raw %.6f MB: delta must be length-preserving", wire[2], wire[0])
+	}
+	if wire[3] >= wire[0] {
+		t.Errorf("delta+flate moved %.3f MB, raw %.3f MB", wire[3], wire[0])
+	}
+}
+
 func TestAllRunsEveryExperiment(t *testing.T) {
 	order, out, err := All(TestConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(order) != 10 || len(out) != 10 {
+	if len(order) != 11 || len(out) != 11 {
 		t.Fatalf("ran %d experiments", len(out))
 	}
 	for _, id := range order {

@@ -140,8 +140,8 @@ type Rule struct {
 	// Delay is the stall duration for Delay actions.
 	Delay time.Duration
 	// Pos, for Corrupt, is the byte offset to flip; <= 0 picks a
-	// seeded-random offset. Frames carry a 17-byte header, so offsets
-	// >= 17 land in the payload.
+	// seeded-random offset. v3 dataset frames carry an 18-byte header,
+	// so offsets >= 18 land in the payload.
 	Pos int
 }
 

@@ -20,6 +20,7 @@ import (
 	"github.com/ascr-ecx/eth/internal/proxy"
 	"github.com/ascr-ecx/eth/internal/render"
 	"github.com/ascr-ecx/eth/internal/sampling"
+	"github.com/ascr-ecx/eth/internal/transport"
 )
 
 // Spec is the top-level job-layout document.
@@ -38,8 +39,12 @@ type Spec struct {
 	Image ImageSpec `json:"image"`
 	// Sampling configures spatial sampling (optional).
 	Sampling SamplingSpec `json:"sampling"`
-	// Compress enables wire compression in socket coupling.
+	// Compress enables wire compression in socket coupling (legacy sugar
+	// for Codec "flate"; ignored when Codec is set).
 	Compress bool `json:"compress"`
+	// Codec names the socket-coupling wire codec: "raw", "flate", "delta",
+	// or "delta+flate" (empty defers to Compress).
+	Codec string `json:"codec"`
 	// Operations lists in-situ analysis steps ("halos", "stats", "save").
 	Operations []string `json:"operations"`
 	// OutDir receives PNG artifacts (optional).
@@ -149,6 +154,9 @@ func (s *Spec) Validate() error {
 	if _, err := parseMethod(s.Sampling.Method); err != nil {
 		return err
 	}
+	if _, err := transport.ParseCodec(s.Codec); err != nil {
+		return err
+	}
 	if _, err := buildOperations(s.Operations); err != nil {
 		return err
 	}
@@ -224,6 +232,7 @@ func (s *Spec) ToMeasuredSpec(layoutDir string) (core.MeasuredSpec, error) {
 		SamplingRatio:  s.Sampling.Ratio,
 		SamplingMethod: method,
 		Compress:       s.Compress,
+		Codec:          s.Codec,
 		OutDir:         s.OutDir,
 	}, nil
 }

@@ -118,7 +118,13 @@ type SimConfig struct {
 	Seed int64
 	// Compress enables DEFLATE framing on the in-situ interface — the
 	// compression lever of the paper's introduction, traded against CPU.
+	// Legacy sugar for Codec: "flate"; ignored when Codec is set.
 	Compress bool
+	// Codec names the wire codec for the in-situ interface ("raw",
+	// "flate", "delta", "delta+flate"; "" defers to Compress). The
+	// temporal codecs key frames against the previous step and are
+	// resynchronized with a keyframe on every fresh connection.
+	Codec string
 	// Journal, when set, receives one event per dataset fetch, sampling
 	// decision, wire transfer, and error.
 	Journal *journal.Writer
@@ -126,8 +132,9 @@ type SimConfig struct {
 
 // SimProxy is one simulation-proxy rank.
 type SimProxy struct {
-	cfg SimConfig
-	src StepSource
+	cfg   SimConfig
+	codec transport.CodecID
+	src   StepSource
 	// stop, when set, drains the serve loop at the next step boundary
 	// (graceful shutdown: the in-flight step completes and is acked).
 	stop <-chan struct{}
@@ -152,8 +159,19 @@ func NewSimProxy(cfg SimConfig, src StepSource) (*SimProxy, error) {
 	if cfg.SamplingRatio < 0 || cfg.SamplingRatio > 1 {
 		return nil, fmt.Errorf("proxy: sampling ratio %v outside (0, 1]", cfg.SamplingRatio)
 	}
-	return &SimProxy{cfg: cfg, src: src}, nil
+	codec, err := transport.ParseCodec(cfg.Codec)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Codec == "" && cfg.Compress {
+		codec = transport.CodecFlate
+	}
+	return &SimProxy{cfg: cfg, codec: codec, src: src}, nil
 }
+
+// Codec reports the wire codec this proxy stamps on every connection it
+// serves.
+func (s *SimProxy) Codec() transport.CodecID { return s.codec }
 
 // Steps returns the number of time steps this proxy will serve.
 func (s *SimProxy) Steps() int { return s.src.Steps() }
@@ -246,7 +264,7 @@ func (s *SimProxy) Serve(conn *transport.Conn) (int64, error) {
 // duplicating or skipping a step; the wire step in each dataset frame
 // lets the receiver detect any step it already rendered.
 func (s *SimProxy) ServeFrom(conn *transport.Conn, from int) (next int, bytes int64, err error) {
-	conn.SetCompression(s.cfg.Compress)
+	conn.SetCodec(s.codec)
 	conn.Journal = s.cfg.Journal
 	conn.Rank = s.cfg.Rank
 	next = from

@@ -23,6 +23,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -134,8 +135,10 @@ func procCloud(n int, seed int64) *data.PointCloud {
 // runProcViz executes one full parent+child run: the parent serves the
 // simulation side over a re-accept loop while RunProc supervises the
 // child viz subprocess. kill selects whether the child's first
-// incarnation self-SIGKILLs at step 1.
-func runProcViz(t *testing.T, dir string, steps int, kill bool) (restarts int, parentJW *journal.Writer) {
+// incarnation self-SIGKILLs at step 1; codec picks the wire codec ("" =
+// raw). Each accepted connection gets a fresh transport.Conn, so under a
+// temporal codec every child incarnation starts with a keyframe.
+func runProcViz(t *testing.T, dir string, steps int, kill bool, codec string) (restarts int, parentJW *journal.Writer) {
 	t.Helper()
 	layout := filepath.Join(dir, "layout")
 	childJournal := filepath.Join(dir, "viz.journal")
@@ -147,7 +150,7 @@ func runProcViz(t *testing.T, dir string, steps int, kill bool) (restarts int, p
 		datasets = append(datasets, procCloud(300, int64(s)))
 	}
 	jw := journal.New()
-	sim, err := proxy.NewSimProxy(proxy.SimConfig{Journal: jw}, &proxy.MemSource{Data: datasets})
+	sim, err := proxy.NewSimProxy(proxy.SimConfig{Journal: jw, Codec: codec}, &proxy.MemSource{Data: datasets})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,13 +198,13 @@ func runProcViz(t *testing.T, dir string, steps int, kill bool) (restarts int, p
 	cfg := supervise.Config{
 		Role: "viz", MaxRestarts: 2,
 		BackoffBase: 5 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
-		Stall: 10 * time.Second, // generous: liveness probe exercised, never fires
+		Stall:   10 * time.Second, // generous: liveness probe exercised, never fires
 		Journal: jw,
 	}
 	proc := supervise.Proc{
-		Path: os.Args[0],
-		Args: []string{"-test.run=^TestHelperVizProcess$", "-test.v=false"},
-		Env:  env,
+		Path:         os.Args[0],
+		Args:         []string{"-test.run=^TestHelperVizProcess$", "-test.v=false"},
+		Env:          env,
 		ProgressPath: childJournal,
 		Stderr:       os.Stderr,
 	}
@@ -269,11 +272,11 @@ func TestProcSIGKILLRestartsAndResumes(t *testing.T) {
 	baseDir := chaosDir(t, "baseline")
 	killDir := chaosDir(t, "sigkill")
 
-	baseRestarts, _ := runProcViz(t, baseDir, steps, false)
+	baseRestarts, _ := runProcViz(t, baseDir, steps, false, "")
 	if baseRestarts != 0 {
 		t.Fatalf("baseline restarts = %d, want 0", baseRestarts)
 	}
-	killRestarts, _ := runProcViz(t, killDir, steps, true)
+	killRestarts, _ := runProcViz(t, killDir, steps, true, "")
 	if killRestarts != 1 {
 		t.Fatalf("restarts = %d, want exactly 1 (one SIGKILL, one recovery)", killRestarts)
 	}
@@ -312,5 +315,49 @@ func TestProcSIGKILLRestartsAndResumes(t *testing.T) {
 	}
 	if cp.Step != steps {
 		t.Errorf("final cursor = %d, want %d", cp.Step, steps)
+	}
+}
+
+// TestProcSIGKILLDeltaResync is the process-level keyframe-resync proof:
+// a SIGKILLed child streaming under the delta codec loses its temporal
+// reference state with the dead process, the supervisor restarts it, the
+// fresh connection resumes with a keyframe, and the run's artifacts —
+// checkpoint progression and the final rendered PNG — are byte-identical
+// to an undisturbed *raw* run of the same data. Any resync bug (a stale
+// or missing reference) would corrupt every decoded particle and change
+// the image.
+func TestProcSIGKILLDeltaResync(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos test")
+	}
+	const steps = 3
+	rawDir := chaosDir(t, "delta-baseline")
+	deltaDir := chaosDir(t, "delta-sigkill")
+
+	if restarts, _ := runProcViz(t, rawDir, steps, false, ""); restarts != 0 {
+		t.Fatalf("raw baseline restarts = %d, want 0", restarts)
+	}
+	if restarts, _ := runProcViz(t, deltaDir, steps, true, "delta"); restarts != 1 {
+		t.Fatalf("delta run restarts = %d, want exactly 1", restarts)
+	}
+
+	rawSig := procSignature(t, rawDir)
+	deltaSig := procSignature(t, deltaDir)
+	if len(rawSig) == 0 || !reflect.DeepEqual(rawSig, deltaSig) {
+		t.Fatalf("checkpoint progression diverged:\nraw:   %v\ndelta: %v", rawSig, deltaSig)
+	}
+
+	finalName := fmt.Sprintf("step%03d_img%03d_rank0.png", steps-1, 0)
+	rawPNG, err := os.ReadFile(filepath.Join(rawDir, "frames", finalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deltaPNG, err := os.ReadFile(filepath.Join(deltaDir, "frames", finalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rawPNG, deltaPNG) {
+		t.Errorf("delta run's final frame diverged from the raw baseline (%d vs %d bytes)",
+			len(deltaPNG), len(rawPNG))
 	}
 }

@@ -8,17 +8,10 @@ import (
 	"github.com/ascr-ecx/eth/internal/raceflag"
 )
 
-// TestSendRecvSteadyStateAllocs locks in the zero-allocation steady state
-// of the uncompressed dataset path: after the first exchange warms the
-// payload buffer, codec pools, and the receiver's reused dataset, a full
-// SendDataset / Recv / ack round trip must not allocate on either side.
-// AllocsPerRun counts mallocs across all goroutines, so the receiver
-// goroutine's decode is included in the budget.
-func TestSendRecvSteadyStateAllocs(t *testing.T) {
-	if raceflag.Enabled {
-		t.Skip("race instrumentation allocates; alloc counts are only meaningful without -race")
-	}
-	cloud := data.NewPointCloud(10_000)
+// allocCloud builds the shape-stable dataset the steady-state gates
+// stream: the same layout every step, as a coherent simulation produces.
+func allocCloud(n int) *data.PointCloud {
+	cloud := data.NewPointCloud(n)
 	for i := 0; i < cloud.Count(); i++ {
 		cloud.IDs[i] = int64(i)
 		cloud.X[i] = float32(i)
@@ -26,11 +19,20 @@ func TestSendRecvSteadyStateAllocs(t *testing.T) {
 		cloud.Z[i] = float32(i) * 0.25
 	}
 	cloud.SpeedField()
+	return cloud
+}
 
+// allocHarness wires a sender and receiver Conn over an in-memory pipe
+// with the receiver in dataset-reuse mode, drives the receive/ack loop in
+// a goroutine, and returns a full round trip (send dataset, wait for ack)
+// plus a finish func that drains the receiver and closes both ends. The
+// advance callback, when non-nil, perturbs the dataset before each send
+// so temporal codecs see real residuals rather than all-zero ones.
+func allocHarness(t *testing.T, cloud *data.PointCloud, codec CodecID, advance func()) (roundTrip, finish func()) {
+	t.Helper()
 	cl, sr := net.Pipe()
 	send, recv := NewConn(cl), NewConn(sr)
-	defer send.Close()
-	defer recv.Close()
+	send.SetCodec(codec)
 	recv.SetDatasetReuse(true)
 
 	errc := make(chan error, 1)
@@ -52,7 +54,10 @@ func TestSendRecvSteadyStateAllocs(t *testing.T) {
 		}
 	}()
 
-	roundTrip := func() {
+	roundTrip = func() {
+		if advance != nil {
+			advance()
+		}
 		if err := send.SendDataset(cloud); err != nil {
 			t.Fatal(err)
 		}
@@ -60,28 +65,137 @@ func TestSendRecvSteadyStateAllocs(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Warm the pools: payload buffer, vtkio codecs, the receiver's reused
-	// dataset, and the ack scratch all materialize on the first trips.
+	finish = func() {
+		if err := send.SendDone(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+		send.Close()
+		recv.Close()
+	}
+	return roundTrip, finish
+}
+
+// gateSteadyState warms the harness, then asserts the steady-state
+// round-trip allocation budget while proving the CRC path actually ran.
+func gateSteadyState(t *testing.T, codec CodecID, advance func(c *data.PointCloud), budget float64) {
+	t.Helper()
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; alloc counts are only meaningful without -race")
+	}
+	cloud := allocCloud(10_000)
+	var adv func()
+	if advance != nil {
+		adv = func() { advance(cloud) }
+	}
+	roundTrip, finish := allocHarness(t, cloud, codec, adv)
+	defer finish()
+	// Warm the pools: payload/wire/reference buffers, vtkio codecs, the
+	// per-direction codec instances, the receiver's reused dataset, and
+	// the ack scratch all materialize on the first trips.
 	for i := 0; i < 5; i++ {
 		roundTrip()
 	}
-	// The round trip now includes the integrity machinery — CRC32C over
-	// header+payload on send, the streaming crcReader plus trailer verify
-	// on receive — all of which must stay inside the Conn's scratch state.
-	// Proving the checksum actually ran keeps this a CRC-path gate rather
-	// than a vacuous pass.
+	// The round trip includes the integrity machinery — CRC32C over
+	// header+payload on send, the bulk trailer verify over the
+	// materialized wire payload on receive — all of which must stay
+	// inside the Conn's scratch state. Proving the checksum actually ran
+	// keeps this a CRC-path gate rather than a vacuous pass.
 	checksummed := ctrCRCChecked.Value()
-	if allocs := testing.AllocsPerRun(50, roundTrip); allocs > 0 {
-		t.Errorf("steady-state round trip allocates %.1f times per op, want 0 (CRC path included)", allocs)
+	if allocs := testing.AllocsPerRun(50, roundTrip); allocs > budget {
+		t.Errorf("%s steady-state round trip allocates %.1f times per op, want <= %g (CRC path included)",
+			codec, allocs, budget)
 	}
 	if got := ctrCRCChecked.Value() - checksummed; got < 50 {
 		t.Errorf("crc_checked advanced by %d during AllocsPerRun, want >= 50 (CRC path not exercised)", got)
 	}
+}
 
-	if err := send.SendDone(); err != nil {
-		t.Fatal(err)
+// drift perturbs a slice of coordinates in place so successive frames
+// carry genuine (non-zero) delta residuals without allocating.
+func drift(c *data.PointCloud) {
+	for i := 0; i < len(c.X); i += 97 {
+		c.X[i] += 0.125
+		c.Y[i] -= 0.0625
 	}
-	if err := <-errc; err != nil {
-		t.Fatal(err)
+}
+
+// TestSendRecvSteadyStateAllocs locks in the zero-allocation steady state
+// of the raw dataset path: after the first exchange warms the buffers, a
+// full SendDataset / Recv / ack round trip must not allocate on either
+// side. AllocsPerRun counts mallocs across all goroutines, so the
+// receiver goroutine's decode is included in the budget.
+func TestSendRecvSteadyStateAllocs(t *testing.T) {
+	gateSteadyState(t, CodecRaw, nil, 0)
+}
+
+// TestDeltaSteadyStateAllocs is the acceptance gate for the temporal
+// path: XOR delta encode, bulk CRC, delta decode, and the plain-payload
+// reference swaps on both sides must all stay inside Conn-owned scratch —
+// exactly zero allocations per round trip, same budget as raw.
+func TestDeltaSteadyStateAllocs(t *testing.T) {
+	gateSteadyState(t, CodecDelta, drift, 0)
+}
+
+// TestFlateSendSteadyStateAllocs gates the flate *send* path at zero: the
+// flate writer, its sink buffer, and the frame scratch are all reused, so
+// compressing and framing a steady stream must not allocate. The receive
+// side is excluded by draining raw bytes instead of decoding (inflate
+// allocates per dynamic block inside compress/flate; see the round-trip
+// bound below).
+func TestFlateSendSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; alloc counts are only meaningful without -race")
 	}
+	cloud := allocCloud(10_000)
+	cl, sr := net.Pipe()
+	send := NewConn(cl)
+	defer send.Close()
+	defer sr.Close()
+	send.SetCodec(CodecFlate)
+
+	// Drain the pipe with a persistent buffer so the sender never blocks
+	// and the counting loop itself stays allocation-free.
+	go func() {
+		buf := make([]byte, 1<<20)
+		for {
+			if _, err := sr.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	sendOnce := func() {
+		if err := send.SendDataset(cloud); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		sendOnce()
+	}
+	if allocs := testing.AllocsPerRun(50, sendOnce); allocs > 0 {
+		t.Errorf("flate send allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+// TestFlateRoundTripAllocsBounded bounds the full compressed round trip.
+// It cannot be zero with the standard library: flate's inflater rebuilds
+// its Huffman link tables per dynamic block, and this ~240 KiB payload
+// spans enough blocks to cost ~170 allocations on the decode side. The
+// bound asserts that everything else — framing, CRC, buffers, the flate
+// writer, the persistent reader — contributes nothing beyond that stdlib
+// floor, and that a regression (an unpooled flate reader, a per-frame
+// sink) fails loudly.
+func TestFlateRoundTripAllocsBounded(t *testing.T) {
+	gateSteadyState(t, CodecFlate, nil, 200)
+}
+
+// TestDeltaFlateRoundTripAllocsBounded is the flate bound applied to the
+// composed codec. The XOR stage must add nothing, and because the
+// residual stream is sparse (mostly zeros) it inflates through far fewer
+// dynamic blocks than plain flate, so the budget is much tighter.
+func TestDeltaFlateRoundTripAllocsBounded(t *testing.T) {
+	gateSteadyState(t, CodecDeltaFlate, drift, 24)
 }

@@ -1,0 +1,239 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/ascr-ecx/eth/internal/data"
+)
+
+func TestParseCodec(t *testing.T) {
+	for id, name := range Codecs() {
+		got, err := ParseCodec(name)
+		if err != nil || got != CodecID(id) {
+			t.Errorf("ParseCodec(%q) = %v, %v; want %v", name, got, err, CodecID(id))
+		}
+		if got.String() != name {
+			t.Errorf("CodecID(%d).String() = %q, want %q", id, got.String(), name)
+		}
+	}
+	if got, err := ParseCodec(""); err != nil || got != CodecRaw {
+		t.Errorf("ParseCodec(\"\") = %v, %v; want raw", got, err)
+	}
+	if _, err := ParseCodec("zstd"); err == nil {
+		t.Error("ParseCodec accepted an unknown codec")
+	}
+}
+
+func TestCodecIDProperties(t *testing.T) {
+	cases := []struct {
+		id       CodecID
+		temporal bool
+		keyframe CodecID
+	}{
+		{CodecRaw, false, CodecRaw},
+		{CodecFlate, false, CodecFlate},
+		{CodecDelta, true, CodecRaw},
+		{CodecDeltaFlate, true, CodecFlate},
+	}
+	for _, c := range cases {
+		if !c.id.Valid() {
+			t.Errorf("%v not valid", c.id)
+		}
+		if c.id.Temporal() != c.temporal {
+			t.Errorf("%v.Temporal() = %v", c.id, c.id.Temporal())
+		}
+		if c.id.Keyframe() != c.keyframe {
+			t.Errorf("%v.Keyframe() = %v, want %v", c.id, c.id.Keyframe(), c.keyframe)
+		}
+	}
+	if numCodecs.Valid() {
+		t.Error("out-of-range codec ID reports valid")
+	}
+}
+
+func TestXorDeltaSelfInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	// Lengths straddle the 8-byte word loop and the byte-wise tail, and
+	// the shorter/longer prev cases exercise the verbatim-copy path.
+	for _, n := range []int{0, 1, 7, 8, 9, 64, 1000, 1001} {
+		for _, pn := range []int{0, n / 2, n, n + 13} {
+			cur, prev := make([]byte, n), make([]byte, pn)
+			rng.Read(cur)
+			rng.Read(prev)
+			res := xorDelta(nil, cur, prev)
+			if len(res) != n {
+				t.Fatalf("n=%d pn=%d: residual length %d", n, pn, len(res))
+			}
+			back := xorDelta(nil, res, prev)
+			if !bytes.Equal(back, cur) {
+				t.Fatalf("n=%d pn=%d: xorDelta not self-inverse", n, pn)
+			}
+		}
+	}
+}
+
+func TestCodecEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	plain, prev := make([]byte, 4096), make([]byte, 4096)
+	rng.Read(plain)
+	copy(prev, plain)
+	for i := 0; i < len(prev); i += 31 {
+		prev[i] ^= 0x55
+	}
+	for id := CodecID(0); id < numCodecs; id++ {
+		var ref []byte
+		if id.Temporal() {
+			ref = prev
+		}
+		// Separate encoder and decoder instances, as the Conn keeps them.
+		enc, dec := newCodec(id), newCodec(id)
+		wire, err := enc.Encode(nil, plain, ref)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", id, err)
+		}
+		got, err := dec.Decode(nil, wire, ref)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", id, err)
+		}
+		if !bytes.Equal(got, plain) {
+			t.Errorf("%v: round trip not bit-exact", id)
+		}
+		if id == CodecDelta && len(wire) != len(plain) {
+			t.Errorf("delta wire length %d != plain length %d", len(wire), len(plain))
+		}
+		if enc.ID() != id {
+			t.Errorf("%v reports ID %v", id, enc.ID())
+		}
+	}
+}
+
+func TestTemporalCodecsRequireReference(t *testing.T) {
+	for _, id := range []CodecID{CodecDelta, CodecDeltaFlate} {
+		c := newCodec(id)
+		if _, err := c.Encode(nil, []byte{1, 2, 3}, nil); !errors.Is(err, ErrDeltaState) {
+			t.Errorf("%v encode without prev: err = %v, want ErrDeltaState", id, err)
+		}
+		if _, err := c.Decode(nil, []byte{1, 2, 3}, nil); !errors.Is(err, ErrDeltaState) {
+			t.Errorf("%v decode without prev: err = %v, want ErrDeltaState", id, err)
+		}
+	}
+}
+
+// TestKeyframeThenDelta proves the temporal send path opens with exactly
+// one keyframe and then stays in delta mode: three coherent steps over
+// one connection advance the keyframes counter once, and every frame
+// decodes bit-exact.
+func TestKeyframeThenDelta(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	steps := []*data.PointCloud{fuzzCloud(300, rng), fuzzCloud(300, rng), fuzzCloud(300, rng)}
+	for _, codec := range []CodecID{CodecDelta, CodecDeltaFlate} {
+		before := ctrKeyframes.Value()
+		dss := make([]data.Dataset, len(steps))
+		for i, s := range steps {
+			dss[i] = s
+		}
+		frames := encodeStream(codec, 0, dss...)
+		if got := ctrKeyframes.Value() - before; got != 1 {
+			t.Errorf("%v: %d keyframes over 3 sends, want 1", codec, got)
+		}
+		// Frame 1 carries the keyframe fallback codec; frames 2+ carry the
+		// temporal codec itself. The ID byte sits at offset 17 of the v3
+		// header.
+		if got := CodecID(frames[0][17]); got != codec.Keyframe() {
+			t.Errorf("%v: keyframe encoded as %v, want %v", codec, got, codec.Keyframe())
+		}
+		for i := 1; i < len(frames); i++ {
+			if got := CodecID(frames[i][17]); got != codec {
+				t.Errorf("%v: frame %d encoded as %v", codec, i, got)
+			}
+		}
+		c := NewConn(&memConn{r: bytes.NewReader(bytes.Join(frames, nil))})
+		for i, want := range steps {
+			_, ds, step, err := c.Recv()
+			if err != nil {
+				t.Fatalf("%v frame %d: %v", codec, i, err)
+			}
+			if step != int64(i) {
+				t.Errorf("%v frame %d: step %d", codec, i, step)
+			}
+			if got, ok := ds.(*data.PointCloud); !ok || !cloudEqual(got, want) {
+				t.Errorf("%v frame %d: not bit-exact", codec, i)
+			}
+		}
+	}
+}
+
+// TestDeltaWithoutKeyframeFails feeds a receiver a delta frame with no
+// preceding keyframe — the resume-after-restart shape — and requires the
+// ErrDeltaState protocol error rather than garbage output.
+func TestDeltaWithoutKeyframeFails(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	s1, s2 := fuzzCloud(100, rng), fuzzCloud(100, rng)
+	frames := encodeStream(CodecDelta, 0, s1, s2)
+	c := NewConn(&memConn{r: bytes.NewReader(frames[1])}) // delta frame only
+	if _, _, _, err := c.Recv(); !errors.Is(err, ErrDeltaState) {
+		t.Fatalf("delta-without-keyframe err = %v, want ErrDeltaState", err)
+	}
+}
+
+// TestMixedCodecStream switches the codec between every frame on one
+// connection. The reference state lives at the plain-payload layer on
+// both sides, so raw and flate frames keep the temporal codecs' state
+// fresh and a switch into delta needs no new keyframe.
+func TestMixedCodecStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	order := []CodecID{CodecRaw, CodecDelta, CodecFlate, CodecDeltaFlate, CodecDelta, CodecRaw}
+	steps := make([]*data.PointCloud, len(order))
+	for i := range steps {
+		steps[i] = fuzzCloud(250, rng)
+	}
+	mc := &memConn{}
+	send := NewConn(mc)
+	for i, s := range steps {
+		send.SetCodec(order[i])
+		send.Step = i
+		if err := send.SendDataset(s); err != nil {
+			t.Fatalf("frame %d (%v): %v", i, order[i], err)
+		}
+	}
+	recv := NewConn(&memConn{r: bytes.NewReader(mc.w.Bytes())})
+	for i, want := range steps {
+		_, ds, step, err := recv.Recv()
+		if err != nil {
+			t.Fatalf("frame %d (%v): %v", i, order[i], err)
+		}
+		if step != int64(i) {
+			t.Errorf("frame %d: step %d", i, step)
+		}
+		if got, ok := ds.(*data.PointCloud); !ok || !cloudEqual(got, want) {
+			t.Errorf("frame %d (%v): not bit-exact", i, order[i])
+		}
+	}
+	// The raw opener trained the reference state, so the first delta frame
+	// needed no keyframe fallback: every frame carries its configured ID.
+	// (Offset 17 is the v3 header's codec byte.)
+	wire := mc.w.Bytes()
+	off := 0
+	for i, id := range order {
+		if got := CodecID(wire[off+17]); got != id {
+			t.Errorf("frame %d: wire codec %v, want %v", i, got, id)
+		}
+		payload := int(binary.BigEndian.Uint64(wire[off+1 : off+9]))
+		off += datasetHeaderLenV3 + payload + 4 // header, payload, CRC trailer
+	}
+}
+
+// TestSendDatasetRejectsInvalidCodec guards the axis boundary: a Conn
+// forced to an out-of-range codec must fail loudly on send, not emit an
+// undecodable frame.
+func TestSendDatasetRejectsInvalidCodec(t *testing.T) {
+	c := NewConn(&memConn{})
+	c.SetCodec(numCodecs)
+	if err := c.SendDataset(sampleCloud(10)); err == nil {
+		t.Fatal("SendDataset accepted an invalid codec")
+	}
+}

@@ -1,15 +1,25 @@
 package transport
 
-// FuzzFrameFlip is the wire-format integrity fuzzer: a dataset frame is
-// encoded once, then the fuzzer flips an arbitrary byte with an
-// arbitrary mask. A zero mask must round-trip cleanly (bit-exact
-// dataset, correct step); any non-zero flip — header, step, payload, or
-// trailer, plain or compressed — must surface as an error, never a
-// silently wrong dataset. CRC32C guarantees detection of any single-byte
-// change, so a survivor here is a real hole in the framing.
+// FuzzFrameFlip is the wire-format integrity fuzzer, extended to wire
+// format v3: for every codec a two-frame stream is encoded once (for the
+// temporal codecs that is a keyframe followed by a genuine delta frame),
+// then the fuzzer flips an arbitrary byte with an arbitrary mask. A zero
+// mask must round-trip the whole stream cleanly — bit-exact datasets,
+// correct steps. Any non-zero flip — type byte, length, step, the v3
+// codec ID byte, payload, or trailer — must be detected: no Recv may
+// ever return a dataset that differs from what was sent. CRC32C covers
+// the header (codec byte included) and payload, so a flipped codec byte
+// surfaces as ErrChecksum rather than a frame decoded under the wrong
+// codec; a survivor here is a real hole in the framing.
+//
+// FuzzDeltaRoundTrip attacks the temporal codecs from the other side:
+// random shape-stable step pairs (same particle count, arbitrary values)
+// must survive the keyframe+delta round trip bit-exact, and the delta
+// codec's wire frames must stay length-preserving.
 
 import (
 	"bytes"
+	"math/rand"
 	"net"
 	"reflect"
 	"testing"
@@ -44,66 +54,172 @@ type memAddr struct{}
 func (memAddr) Network() string { return "mem" }
 func (memAddr) String() string  { return "mem" }
 
-// encodeFrame serializes one dataset frame (with step) into bytes.
-func encodeFrame(tb testing.TB, ds data.Dataset, compress bool, step int) []byte {
-	tb.Helper()
+// encodeStream serializes the datasets as consecutive frames on one
+// sending Conn under the given codec — so for temporal codecs the first
+// frame is a keyframe and later frames carry real deltas — and returns
+// each frame's bytes separately. Steps count from firstStep. It panics
+// on error so it can run during fuzz-corpus construction.
+func encodeStream(codec CodecID, firstStep int, steps ...data.Dataset) [][]byte {
 	mc := &memConn{}
 	c := NewConn(mc)
-	c.SetCompression(compress)
-	c.Step = step
-	if err := c.SendDataset(ds); err != nil {
-		tb.Fatal(err)
+	c.SetCodec(codec)
+	frames := make([][]byte, 0, len(steps))
+	prev := 0
+	for i, ds := range steps {
+		c.Step = firstStep + i
+		if err := c.SendDataset(ds); err != nil {
+			panic(err)
+		}
+		all := mc.w.Bytes()
+		frames = append(frames, append([]byte(nil), all[prev:]...))
+		prev = len(all)
 	}
-	return append([]byte(nil), mc.w.Bytes()...)
+	return frames
 }
 
-func decodeFrame(frame []byte) (data.Dataset, int64, error) {
-	c := NewConn(&memConn{r: bytes.NewReader(frame)})
-	typ, ds, step, err := c.Recv()
-	if err == nil && typ != MsgDataset {
-		return nil, 0, err
+// cloudEqual compares the exported payload of two point clouds (the
+// unexported bounds cache is lazily populated and irrelevant to the
+// wire).
+func cloudEqual(a, b *data.PointCloud) bool {
+	return reflect.DeepEqual(a.IDs, b.IDs) &&
+		reflect.DeepEqual(a.X, b.X) && reflect.DeepEqual(a.Y, b.Y) && reflect.DeepEqual(a.Z, b.Z) &&
+		reflect.DeepEqual(a.VX, b.VX) && reflect.DeepEqual(a.VY, b.VY) && reflect.DeepEqual(a.VZ, b.VZ) &&
+		reflect.DeepEqual(a.Fields, b.Fields)
+}
+
+// fuzzCloud builds an n-particle cloud with values drawn from rng.
+func fuzzCloud(n int, rng *rand.Rand) *data.PointCloud {
+	c := data.NewPointCloud(n)
+	for i := 0; i < n; i++ {
+		c.IDs[i] = int64(rng.Uint64())
+		c.X[i] = float32(rng.NormFloat64())
+		c.Y[i] = float32(rng.NormFloat64())
+		c.Z[i] = float32(rng.NormFloat64())
+		c.VX[i] = float32(rng.NormFloat64())
+		c.VY[i] = float32(rng.NormFloat64())
+		c.VZ[i] = float32(rng.NormFloat64())
 	}
-	return ds, step, err
+	c.SpeedField()
+	return c
+}
+
+// flipStream is one codec's precomputed two-frame fuzz stream.
+type flipStream struct {
+	frames [][]byte
+	wants  []*data.PointCloud
+}
+
+// buildFlipStreams encodes the per-codec streams the flip fuzzer
+// mutates: two shape-stable steps with different values, so temporal
+// codecs emit one keyframe and one genuine delta frame.
+func buildFlipStreams() [numCodecs]flipStream {
+	rng := rand.New(rand.NewSource(42))
+	s1, s2 := fuzzCloud(200, rng), fuzzCloud(200, rng)
+	var out [numCodecs]flipStream
+	for id := CodecID(0); id < numCodecs; id++ {
+		out[id] = flipStream{
+			frames: encodeStream(id, 5, s1, s2),
+			wants:  []*data.PointCloud{s1, s2},
+		}
+	}
+	return out
 }
 
 func FuzzFrameFlip(f *testing.F) {
-	want := sampleCloud(200)
-	frames := [2][]byte{
-		encodeFrame(f, want, false, 5),
-		encodeFrame(f, want, true, 5),
+	streams := buildFlipStreams()
+	for id := CodecID(0); id < numCodecs; id++ {
+		b := uint8(id)
+		f.Add(b, uint32(0), byte(0))    // clean stream
+		f.Add(b, uint32(0), byte(0xff)) // type byte, frame 1
+		f.Add(b, uint32(3), byte(0x80)) // length field
+		f.Add(b, uint32(12), byte(1))   // step field
+		f.Add(b, uint32(17), byte(2))   // v3 codec ID byte, frame 1
+		f.Add(b, uint32(40), byte(0xa5))
+		// Same offsets inside frame 2 — for temporal codecs that is the
+		// delta frame, including its codec ID byte at offset 17.
+		off := uint32(len(streams[id].frames[0]))
+		f.Add(b, off, byte(0xff))
+		f.Add(b, off+17, byte(2))
+		f.Add(b, off+40, byte(0xa5))
+		f.Add(b, uint32(1<<31), byte(2))
 	}
-	f.Add(false, uint32(0), byte(0))    // clean plain frame
-	f.Add(true, uint32(0), byte(0))     // clean compressed frame
-	f.Add(false, uint32(0), byte(0xff)) // type byte
-	f.Add(false, uint32(3), byte(0x80)) // length field
-	f.Add(false, uint32(12), byte(1))   // step field
-	f.Add(false, uint32(40), byte(0xa5))
-	f.Add(true, uint32(40), byte(0xa5)) // compressed payload
-	f.Add(false, uint32(1<<31), byte(2))
-	f.Fuzz(func(t *testing.T, compressed bool, pos uint32, mask byte) {
-		frame := frames[0]
-		if compressed {
-			frame = frames[1]
+	f.Fuzz(func(t *testing.T, codecByte uint8, pos uint32, mask byte) {
+		id := CodecID(codecByte) % numCodecs
+		st := streams[id]
+		stream := bytes.Join(st.frames, nil)
+		if mask != 0 {
+			flipped := append([]byte(nil), stream...)
+			flipped[int(pos)%len(flipped)] ^= mask
+			stream = flipped
 		}
-		if mask == 0 {
-			ds, step, err := decodeFrame(frame)
+		c := NewConn(&memConn{r: bytes.NewReader(stream)})
+		clean := 0
+		for i, want := range st.wants {
+			typ, ds, step, err := c.Recv()
 			if err != nil {
-				t.Fatalf("clean frame failed to decode: %v", err)
+				break // corruption detected: acceptable for mask != 0
+			}
+			if typ != MsgDataset {
+				// A type-byte flip can turn a dataset frame into another
+				// valid message (e.g. MsgDone). The dataset is lost, never
+				// silently wrong; the consumer sees a protocol violation.
+				break
 			}
 			got, ok := ds.(*data.PointCloud)
-			if !ok || !reflect.DeepEqual(got.IDs, want.IDs) || !reflect.DeepEqual(got.X, want.X) {
-				t.Fatal("clean frame round-trip not bit-exact")
+			if !ok || !cloudEqual(got, want) {
+				t.Fatalf("codec %v frame %d: Recv succeeded with a corrupted dataset (mask %#x at %d)",
+					id, i, mask, int(pos)%len(stream))
 			}
-			if step != 5 {
-				t.Fatalf("clean frame step = %d, want 5", step)
+			if step != int64(5+i) {
+				t.Fatalf("codec %v frame %d: step = %d, want %d", id, i, step, 5+i)
 			}
-			return
+			clean++
 		}
-		flipped := append([]byte(nil), frame...)
-		flipped[int(pos)%len(flipped)] ^= mask
-		if ds, _, err := decodeFrame(flipped); err == nil {
-			t.Fatalf("byte %d flipped with %#x decoded silently (ds=%v)",
-				int(pos)%len(flipped), mask, ds != nil)
+		if mask == 0 && clean != len(st.wants) {
+			t.Fatalf("codec %v: clean stream decoded %d/%d frames", id, clean, len(st.wants))
+		}
+		if mask != 0 && clean == len(st.wants) {
+			t.Fatalf("codec %v: byte %d flipped with %#x and the whole stream still decoded",
+				id, int(pos)%len(stream), mask)
+		}
+	})
+}
+
+// FuzzDeltaRoundTrip drives the temporal codecs with random shape-stable
+// step pairs: any two same-count clouds must survive keyframe+delta
+// encoding bit-exact, and the plain delta codec's frames must keep the
+// raw frame length (length-preserving residuals are what keep fault
+// schedules aligned across codecs in the chaos suite).
+func FuzzDeltaRoundTrip(f *testing.F) {
+	f.Add(int64(1), int64(2), uint16(100), true)
+	f.Add(int64(3), int64(3), uint16(1), false) // identical steps: all-zero residual
+	f.Add(int64(7), int64(11), uint16(2048), true)
+	f.Add(int64(0), int64(0), uint16(0), false)
+	f.Fuzz(func(t *testing.T, seedA, seedB int64, n uint16, compress bool) {
+		count := int(n)%2048 + 1
+		s1 := fuzzCloud(count, rand.New(rand.NewSource(seedA)))
+		s2 := fuzzCloud(count, rand.New(rand.NewSource(seedB)))
+		codec := CodecDelta
+		if compress {
+			codec = CodecDeltaFlate
+		}
+		frames := encodeStream(codec, 0, s1, s2)
+		if codec == CodecDelta && len(frames[1]) != len(frames[0]) {
+			t.Fatalf("delta frame length %d != keyframe length %d: XOR residual must be length-preserving",
+				len(frames[1]), len(frames[0]))
+		}
+		c := NewConn(&memConn{r: bytes.NewReader(bytes.Join(frames, nil))})
+		for i, want := range []*data.PointCloud{s1, s2} {
+			typ, ds, step, err := c.Recv()
+			if err != nil {
+				t.Fatalf("frame %d: %v", i, err)
+			}
+			if typ != MsgDataset || step != int64(i) {
+				t.Fatalf("frame %d: typ %v step %d", i, typ, step)
+			}
+			if got, ok := ds.(*data.PointCloud); !ok || !cloudEqual(got, want) {
+				t.Fatalf("frame %d: %v round trip not bit-exact", i, codec)
+			}
 		}
 	})
 }

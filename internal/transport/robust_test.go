@@ -59,7 +59,7 @@ func TestStepTravelsWithDataset(t *testing.T) {
 func TestCorruptedFrameDetected(t *testing.T) {
 	for _, compress := range []bool{false, true} {
 		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
-			// Position 25 is past the 17-byte dataset header: a payload flip,
+			// Position 25 is past the 18-byte v3 dataset header: a payload flip,
 			// caught by the checksum rather than the length sanity checks.
 			sched := faults.New(1, faults.Rule{
 				Side: faults.SideSim, Conn: 0, Op: faults.OpWrite, Nth: 0,

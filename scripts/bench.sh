@@ -5,8 +5,10 @@
 #   scripts/bench.sh [out.json]
 #
 # Runs the root-package benchmarks (BenchmarkTriangles, BenchmarkComposite16,
-# BenchmarkTransportRoundTrip, ...) with -benchmem and converts the standard
-# `go test -bench` output into JSON:
+# BenchmarkTransportRoundTrip, BenchmarkTransportCodecSweep, ...) with
+# -benchmem and converts the standard `go test -bench` output into JSON.
+# Benchmarks that report a custom wire-B/op metric (the codec sweep's
+# per-step wire payload) gain a "wire_bytes_per_op" field:
 #
 #   {
 #     "goos": "linux", "goarch": "amd64", "cpu": "...",
@@ -37,15 +39,16 @@ BEGIN { n = 0 }
     name = $1
     sub(/-[0-9]+$/, "", name)  # strip -GOMAXPROCS suffix
     iters = $2
-    ns = ""; bytes = ""; allocs = ""
+    ns = ""; bytes = ""; allocs = ""; wire = ""
     for (i = 3; i <= NF; i++) {
         if ($(i) == "ns/op") ns = $(i - 1)
         if ($(i) == "B/op") bytes = $(i - 1)
         if ($(i) == "allocs/op") allocs = $(i - 1)
+        if ($(i) == "wire-B/op") wire = $(i - 1)
     }
     if (ns == "") next
     n++
-    names[n] = name; its[n] = iters; nss[n] = ns; bs[n] = bytes; as[n] = allocs
+    names[n] = name; its[n] = iters; nss[n] = ns; bs[n] = bytes; as[n] = allocs; ws[n] = wire
 }
 END {
     printf "{\n"
@@ -55,6 +58,7 @@ END {
         printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s", names[i], its[i], nss[i]
         if (bs[i] != "") printf ", \"bytes_per_op\": %s", bs[i]
         if (as[i] != "") printf ", \"allocs_per_op\": %s", as[i]
+        if (ws[i] != "") printf ", \"wire_bytes_per_op\": %s", ws[i]
         printf "}%s\n", (i < n ? "," : "")
     }
     printf "  ]\n}\n"

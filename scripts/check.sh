@@ -20,11 +20,23 @@ go run ./cmd/ethlint -max-ignores 20 -stale-ignores ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# The steady-state allocation gates skip themselves under -race (the
+# race runtime allocates), so run them again without it — a hot-path
+# allocation regression must fail CI, not hide behind the race build.
+echo "== go test -run 'Allocs' ./internal/transport ./internal/raster ./internal/compositing"
+go test -run 'Allocs' ./internal/transport/ ./internal/raster/ ./internal/compositing/
+
 # Supervision chaos: run the process-level suite (subprocess SIGKILL,
 # watchdog teardown, panic restart) by name so a rename that silently
 # drops a chaos test from the default run fails loudly here.
 echo "== go test -race -run 'TestProc|TestSupervised' ./internal/supervise ./internal/coupling"
 go test -race -run 'TestProc|TestSupervised' ./internal/supervise/ ./internal/coupling/
+
+# Codec chaos: the temporal-codec recovery scenarios (corrupt delta
+# frames, keyframe resync after reconnect/restart, cross-codec
+# bit-exactness) by name, for the same reason.
+echo "== go test -race -run 'TestChaosCodec|TestChaos.*Delta|TestProcSIGKILLDeltaResync' ./internal/coupling ./internal/supervise"
+go test -race -run 'TestChaosCodec|TestChaos.*Delta|TestProcSIGKILLDeltaResync' ./internal/coupling/ ./internal/supervise/
 
 # Live telemetry plane: boot a real run with -obs and validate the
 # exposition end to end with ethtop -once (which fails unless /metrics
@@ -58,6 +70,9 @@ go test -run='^$' -fuzz=FuzzReadVTK -fuzztime=10s ./internal/vtkio/
 
 echo "== go test -fuzz=FuzzFrameFlip -fuzztime=10s ./internal/transport"
 go test -run='^$' -fuzz=FuzzFrameFlip -fuzztime=10s ./internal/transport/
+
+echo "== go test -fuzz=FuzzDeltaRoundTrip -fuzztime=10s ./internal/transport"
+go test -run='^$' -fuzz=FuzzDeltaRoundTrip -fuzztime=10s ./internal/transport/
 
 # Benchmark smoke: one iteration of every benchmark with -benchmem, so a
 # benchmark that panics or regresses into a compile error fails the gate
