@@ -175,6 +175,28 @@ type journalAudit struct {
 	// from the journal's recorded durations.
 	Durations []durationAudit `json:"durations,omitempty"`
 	Errors    []errorAudit    `json:"errors,omitempty"`
+	// Hub summarizes the broadcast hub's subscriber and steering
+	// traffic; present only when the run served live viewers.
+	Hub *hubAudit `json:"hub,omitempty"`
+}
+
+// hubAudit tallies the multi-viewer hub's journaled traffic: session
+// churn, overflow drops, and the steering sequence as applied.
+type hubAudit struct {
+	Joins         int `json:"joins"`
+	Leaves        int `json:"leaves"`
+	Rejects       int `json:"rejects,omitempty"`
+	DroppedFrames int `json:"dropped_frames"`
+	SteerReceived int `json:"steer_received"`
+	SteerApplied  int `json:"steer_applied"`
+	// Steering lists every journaled steer event in order, so two runs
+	// can be diffed for replay determinism.
+	Steering []steerAudit `json:"steering,omitempty"`
+}
+
+type steerAudit struct {
+	Step   int    `json:"step"`
+	Detail string `json:"detail"`
 }
 
 type durationAudit struct {
@@ -236,7 +258,8 @@ func auditJournal(path string, jsonOut bool) error {
 		journal.TypeTransfer, journal.TypeRender, journal.TypeAnalysis,
 		journal.TypeComposite, journal.TypeRetry, journal.TypeSkip,
 		journal.TypeResume, journal.TypeError, journal.TypeRestart,
-		journal.TypeShutdown, journal.TypeCheckpoint,
+		journal.TypeShutdown, journal.TypeCheckpoint, journal.TypeOverflow,
+		journal.TypeSteer, journal.TypeSubscribe,
 	} {
 		if counts[ty] > 0 {
 			ct.AddRow(ty, counts[ty])
@@ -270,6 +293,15 @@ func auditJournal(path string, jsonOut bool) error {
 	}
 	if err := pt.Fprint(os.Stdout); err != nil {
 		return err
+	}
+
+	// Hub audit: who watched, what was dropped, how the run was steered.
+	if h := hubTallies(events); h != nil {
+		fmt.Printf("  hub      joins=%d leaves=%d rejects=%d dropped_frames=%d steer_received=%d steer_applied=%d\n",
+			h.Joins, h.Leaves, h.Rejects, h.DroppedFrames, h.SteerReceived, h.SteerApplied)
+		for _, s := range h.Steering {
+			fmt.Printf("    step=%d %s\n", s.Step, s.Detail)
+		}
 	}
 
 	if errs := journal.Errors(events); len(errs) > 0 {
@@ -311,7 +343,48 @@ func buildAudit(path string, events []journal.Event, torn bool) journalAudit {
 	for _, ev := range journal.Errors(events) {
 		a.Errors = append(a.Errors, errorAudit{Rank: ev.Rank, Step: ev.Step, Err: ev.Err})
 	}
+	a.Hub = hubTallies(events)
 	return a
+}
+
+// hubTallies replays the hub's journaled traffic: subscriber churn,
+// overflow drops, and the ordered steering sequence. Returns nil when
+// the run never served live viewers.
+func hubTallies(events []journal.Event) *hubAudit {
+	var h hubAudit
+	seen := false
+	for _, ev := range events {
+		switch ev.Type {
+		case journal.TypeSubscribe:
+			seen = true
+			switch {
+			case strings.HasPrefix(ev.Detail, "join"):
+				h.Joins++
+			case strings.HasPrefix(ev.Detail, "leave"):
+				h.Leaves++
+			case strings.HasPrefix(ev.Detail, "reject"):
+				h.Rejects++
+			}
+		case journal.TypeOverflow:
+			if strings.HasPrefix(ev.Detail, "hub ") {
+				seen = true
+				h.DroppedFrames += ev.Elements
+			}
+		case journal.TypeSteer:
+			seen = true
+			if strings.HasPrefix(ev.Detail, "recv") {
+				h.SteerReceived++
+			}
+			if strings.Contains(ev.Detail, "applied") {
+				h.SteerApplied++
+			}
+			h.Steering = append(h.Steering, steerAudit{Step: ev.Step, Detail: ev.Detail})
+		}
+	}
+	if !seen {
+		return nil
+	}
+	return &h
 }
 
 // durationQuantiles reconstructs per-event-type latency quantiles from

@@ -25,6 +25,8 @@ import (
 	"strings"
 	"time"
 
+	"github.com/ascr-ecx/eth/internal/coupling"
+	"github.com/ascr-ecx/eth/internal/hub"
 	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/obs"
 	"github.com/ascr-ecx/eth/internal/proxy"
@@ -53,6 +55,11 @@ func main() {
 	trace := flag.String("trace", "", "append the step journal (JSONL) to this crash-safe file")
 	reconnect := flag.Int("reconnect", 0, "redials to survive when the simulation peer is lost mid-run")
 	obsAddr := flag.String("obs", "", "serve live observability (/metrics /healthz /events /trace) on this address")
+	serve := flag.String("serve", "", "broadcast rendered frames to live viewers (ethwatch) on this address")
+	maxSubs := flag.Int("max-subs", 8, "subscriber limit for -serve")
+	subQueue := flag.Int("queue", 16, "per-subscriber frame backlog for -serve (overflow drops oldest)")
+	history := flag.Int("history", 0, "frames retained for late/resuming viewers (0 = 2*queue)")
+	serveCodec := flag.String("serve-codec", "raw", "wire codec for broadcast streams (raw, flate, delta, delta+flate)")
 	flag.Parse()
 
 	operations, err := parseOps(*ops)
@@ -86,7 +93,46 @@ func main() {
 	ctx, stop := supervise.SignalContext(context.Background(), jw)
 	defer stop()
 
-	viz, err := proxy.NewVizProxy(proxy.VizConfig{
+	// -serve opens the multi-viewer broadcast hub: every rendered step is
+	// fanned out to connected ethwatch viewers, and their steering
+	// (camera, isovalue, sampling ratio, codec) flows back through the
+	// proxies at step boundaries. The hub runs under the same supervision
+	// contract as the proxy pair.
+	var h *hub.Hub
+	if *serve != "" {
+		codec, err := transport.ParseCodec(*serveCodec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if jw == nil {
+			// Subscriber/steering events need a journal even without -trace.
+			jw = journal.New()
+		}
+		h, err = hub.New(hub.Config{
+			Addr: *serve, MaxSubs: *maxSubs, Queue: *subQueue, History: *history,
+			Codec: codec, Rank: *rank, Journal: jw,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("hub: serving %s (max %d subscribers, codec %s)\n", h.Addr(), *maxSubs, codec)
+		hubDone := make(chan error, 1)
+		go func() {
+			hubDone <- coupling.RunHubSupervised(ctx, h, supervise.Config{
+				MaxRestarts: 3, Journal: jw,
+			})
+		}()
+		defer func() {
+			if err := h.Close(); err != nil {
+				log.Printf("hub: %v", err)
+			}
+			if err := <-hubDone; err != nil {
+				log.Printf("hub: %v", err)
+			}
+		}()
+	}
+
+	vizCfg := proxy.VizConfig{
 		Rank: *rank, Width: *width, Height: *height,
 		Algorithm: *algorithm,
 		Options: render.Options{
@@ -98,7 +144,12 @@ func main() {
 		Operations:    operations,
 		CursorPath:    *cursor,
 		Journal:       jw,
-	})
+	}
+	if h != nil {
+		vizCfg.Publisher = h
+		vizCfg.Steering = h
+	}
+	viz, err := proxy.NewVizProxy(vizCfg)
 	if err != nil {
 		log.Fatal(err)
 	}

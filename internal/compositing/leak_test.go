@@ -1,55 +1,86 @@
 package compositing
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/ascr-ecx/eth/internal/fb"
 	"github.com/ascr-ecx/eth/internal/mempool"
+	"github.com/ascr-ecx/eth/internal/raceflag"
 )
 
 // Regression tests for frame-pool leaks on the compositors' error paths,
 // found by the poolleak analyzer: a merge or copy failure used to return
-// without releasing the pooled output/working frames. Each test seeds the
-// frame pool, drives the error path, and asserts the pool hands the same
-// frame objects back out — the pointer identity only holds if the error
-// path released them. The seed/acquire sequences stay on one goroutine,
-// so sync.Pool's per-P slots make the round trip deterministic.
+// without releasing the pooled output/working frames. Each test seeds
+// the frame pool, drives the error path, and asserts the pool hands the
+// same frame objects back out — the pointer identity only holds if the
+// error path released them. Two things keep the round trip
+// deterministic: each test uses a frame size no other test touches, so
+// the pool it seeds is exactly the pool the compositor drains; and
+// GOMAXPROCS is pinned to 1, because sync.Pool keeps a per-P private
+// slot other Ps cannot steal from, so a goroutine migration between
+// Release and Acquire would strand a frame and fail the test spuriously.
+//
+// Under -race the tests skip: the race-instrumented sync.Pool randomly
+// drops Put items by design, so pool identity cannot be asserted there.
+// scripts/check.sh re-runs them in its non-race alloc-gate pass.
+
+func skipUnderRace(t *testing.T) {
+	t.Helper()
+	if raceflag.Enabled {
+		t.Skip("race-instrumented sync.Pool drops Put items at random; identity asserted in the non-race pass")
+	}
+}
+
+// drainForFrames acquires up to limit pooled frames of the given size,
+// reporting whether every frame in want was handed back out. Drained
+// frames are returned to the pool when the test ends.
+func drainForFrames(t *testing.T, w, h, limit int, want ...*fb.Frame) bool {
+	t.Helper()
+	remaining := make(map[*fb.Frame]bool, len(want))
+	for _, f := range want {
+		remaining[f] = true
+	}
+	for i := 0; i < limit && len(remaining) > 0; i++ {
+		got := mempool.AcquireFrameUncleared(w, h)
+		t.Cleanup(func() { mempool.ReleaseFrame(got) })
+		delete(remaining, got)
+	}
+	return len(remaining) == 0
+}
 
 func TestDirectSendErrorReleasesOutput(t *testing.T) {
-	seed := mempool.AcquireFrameUncleared(8, 8)
+	skipUnderRace(t)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	seed := mempool.AcquireFrameUncleared(12, 5)
 	mempool.ReleaseFrame(seed)
 
 	// Mismatched sizes: the output frame is acquired and seeded from
 	// frames[0] before MergeInto fails on frames[1].
-	if _, _, err := directSend([]*fb.Frame{fb.New(8, 8), fb.New(4, 4)}); err == nil {
+	if _, _, err := directSend([]*fb.Frame{fb.New(12, 5), fb.New(4, 4)}); err == nil {
 		t.Fatal("directSend with mismatched frames should fail")
 	}
 
-	got := mempool.AcquireFrameUncleared(8, 8)
-	defer mempool.ReleaseFrame(got)
-	if got != seed {
-		t.Errorf("output frame not returned to the pool on the error path: got %p, want %p", got, seed)
+	if !drainForFrames(t, 12, 5, 4, seed) {
+		t.Errorf("output frame %p not returned to the pool on the error path", seed)
 	}
 }
 
 func TestBinarySwapErrorReleasesWorkFrames(t *testing.T) {
-	f1 := mempool.AcquireFrameUncleared(8, 8)
-	f2 := mempool.AcquireFrameUncleared(8, 8)
+	skipUnderRace(t)
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	f1 := mempool.AcquireFrameUncleared(10, 6)
+	f2 := mempool.AcquireFrameUncleared(10, 6)
 	mempool.ReleaseFrame(f1)
 	mempool.ReleaseFrame(f2)
 
 	// pow = 2: the first working copy succeeds, the second's CopyFrom
 	// fails on the 4x4 frame — both copies must come back to the pool.
-	if _, _, err := binarySwap([]*fb.Frame{fb.New(8, 8), fb.New(4, 4)}); err == nil {
+	if _, _, err := binarySwap([]*fb.Frame{fb.New(10, 6), fb.New(4, 4)}); err == nil {
 		t.Fatal("binarySwap with mismatched frames should fail")
 	}
 
-	g1 := mempool.AcquireFrameUncleared(8, 8)
-	g2 := mempool.AcquireFrameUncleared(8, 8)
-	defer mempool.ReleaseFrame(g1)
-	defer mempool.ReleaseFrame(g2)
-	seeded := map[*fb.Frame]bool{f1: true, f2: true}
-	if !seeded[g1] || !seeded[g2] || g1 == g2 {
-		t.Errorf("working frames not returned to the pool on the error path: got %p/%p, want %p/%p", g1, g2, f1, f2)
+	if !drainForFrames(t, 10, 6, 4, f1, f2) {
+		t.Errorf("working frames %p/%p not returned to the pool on the error path", f1, f2)
 	}
 }

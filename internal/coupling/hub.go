@@ -1,0 +1,36 @@
+package coupling
+
+import (
+	"context"
+	"errors"
+
+	"github.com/ascr-ecx/eth/internal/hub"
+	"github.com/ascr-ecx/eth/internal/supervise"
+)
+
+// RunHubSupervised serves a broadcast hub under a supervisor, the same
+// restart contract as the proxy pairs: a failed accept loop is torn
+// down (Interrupt closes the listener and every subscriber connection)
+// and restarted under cfg's budget. The hub's membership, history ring,
+// and steering state survive restarts — only subscribers must
+// reconnect, and the per-connection codec state hands each of them a
+// fresh keyframe when they do. The stall watchdog is left disabled
+// unless the caller sets one: an idle hub (slow simulation, no
+// subscribers) is healthy, not stalled. cfg.Probe and cfg.Interrupt are
+// derived here and must not be set by the caller.
+func RunHubSupervised(ctx context.Context, h *hub.Hub, cfg supervise.Config) error {
+	if cfg.Role == "" {
+		cfg.Role = "hub"
+	}
+	cfg.Probe = h.Published
+	cfg.Interrupt = h.Interrupt
+	return supervise.New(cfg).Run(ctx, func(actx context.Context) error {
+		err := h.Serve(actx)
+		if errors.Is(err, hub.ErrHubClosed) {
+			// A closed hub is a drain, not a failure; Serve already maps
+			// context cancellation and Close-triggered accept errors to nil.
+			return nil
+		}
+		return err
+	})
+}

@@ -1,0 +1,115 @@
+package coupling
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/hub"
+	"github.com/ascr-ecx/eth/internal/journal"
+	"github.com/ascr-ecx/eth/internal/transport"
+	"github.com/ascr-ecx/eth/internal/vec"
+)
+
+// hubFrame is a small deterministic frame for supervised-hub tests.
+func hubFrame(step int) *fb.Frame {
+	f := fb.New(16, 12)
+	for i := range f.Color {
+		v := float64((i + step*7) % 11)
+		f.Color[i] = vec.V3{X: v / 11, Y: 0.5, Z: 1 - v/11}
+		f.Depth[i] = 1 + v
+	}
+	return f
+}
+
+// TestSupervisedHubServesAndDrains runs the hub under the supervisor:
+// a subscriber streams frames, and canceling the context drains the
+// role cleanly (no restart budget spent, no error).
+func TestSupervisedHubServesAndDrains(t *testing.T) {
+	jw := journal.New()
+	h, err := hub.New(hub.Config{Addr: "127.0.0.1:0", Journal: jw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- RunHubSupervised(context.Background(), h, fastSupervision(2, 0))
+	}()
+
+	c, err := hub.DialSubscriber(h.Addr(), "viewer", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	waitCond(t, "subscriber to register", func() bool { return h.Subscribers() == 1 })
+
+	const steps = 4
+	for i := 0; i < steps; i++ {
+		h.PublishFrame(i, hubFrame(i))
+	}
+	for i := 0; i < steps; i++ {
+		typ, _, step, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != transport.MsgDataset || step != int64(i) {
+			t.Fatalf("frame %d: got type %d step %d", i, typ, step)
+		}
+	}
+	if h.Published() != steps {
+		t.Fatalf("published probe = %d, want %d", h.Published(), steps)
+	}
+	// Close drains: the supervised role must end without an error and
+	// without burning the restart budget.
+	if err := h.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("supervised hub ended with %v, want clean drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervised hub did not drain after Close")
+	}
+	if got := countRestarts(jw, "stalled"); got != 0 {
+		t.Fatalf("idle hub burned %d restarts on the stall watchdog, want 0", got)
+	}
+}
+
+// TestSupervisedHubShutdownViaContext proves cancellation follows the
+// supervisor's shutdown path rather than the failure path.
+func TestSupervisedHubShutdownViaContext(t *testing.T) {
+	h, err := hub.New(hub.Config{Addr: "127.0.0.1:0", Journal: journal.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- RunHubSupervised(ctx, h, fastSupervision(1, 0)) }()
+	// Give the accept loop a beat, then cancel.
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancellation surfaced as %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("supervised hub ignored context cancellation")
+	}
+}
+
+func waitCond(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

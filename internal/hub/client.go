@@ -1,0 +1,42 @@
+package hub
+
+import (
+	"fmt"
+	"net"
+
+	"github.com/ascr-ecx/eth/internal/transport"
+)
+
+// DialSubscriber connects to a hub and completes the hello handshake:
+// the returned connection is registered under name with its step cursor
+// at from (-1 = live tail only; otherwise the hub seeds the retained
+// history from that step). The caller then drives Recv for frames and
+// may send steer messages with SendSteer.
+func DialSubscriber(addr, name string, from int64) (*transport.Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("hub: dialing %s: %w", addr, err)
+	}
+	c := transport.NewConn(nc)
+	p, err := EncodeMsg(nil, Msg{Kind: KindHello, From: from, Name: name})
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	if err := c.SendControl(p); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("hub: sending hello: %w", err)
+	}
+	return c, nil
+}
+
+// SendSteer encodes and sends one steer message on a subscriber
+// connection. Like all Send* methods it must be called from the
+// connection's sending goroutine.
+func SendSteer(c *transport.Conn, m Msg) error {
+	p, err := EncodeMsg(nil, m)
+	if err != nil {
+		return err
+	}
+	return c.SendControl(p)
+}

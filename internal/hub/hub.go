@@ -1,0 +1,696 @@
+// Package hub is the multi-viewer broadcast layer behind the
+// visualization proxy: rendered frames fan out to N concurrent
+// subscribers over the v3 wire format, and a CRC-checked steering
+// channel flows back from subscribers to the proxies. Each subscriber
+// owns its own connection (so the PR 8 per-direction codec state gives
+// a late or resumed subscriber an automatic keyframe), its own step
+// cursor (the hello message carries the first step wanted, seeded from
+// the PR 5 checkpoint machinery on the client), and its own bounded
+// queue with drop-oldest overflow journaled in-band — a slow subscriber
+// sheds frames visibly instead of ever stalling the sim step loop.
+// Steering is last-writer-wins across subscribers and is consumed by
+// the proxies at step boundaries, journaled so a run can be replayed.
+package hub
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/journal"
+	"github.com/ascr-ecx/eth/internal/mempool"
+	"github.com/ascr-ecx/eth/internal/telemetry"
+	"github.com/ascr-ecx/eth/internal/transport"
+	"github.com/ascr-ecx/eth/internal/vtkio"
+)
+
+// Hub telemetry: aggregate counters plus the subscriber-count gauge.
+// Per-slot gauges (queue depth, drops, lag) are resolved in New.
+var (
+	ctrPublished = telemetry.Default.Counter("hub.frames_published")
+	ctrFanout    = telemetry.Default.Counter("hub.frames_fanout")
+	ctrDropped   = telemetry.Default.Counter("hub.frames_dropped")
+	ctrSteer     = telemetry.Default.Counter("hub.steer_received")
+	gSubscribers = telemetry.Default.Gauge("hub.subscribers")
+)
+
+// ErrHubClosed is returned by operations on a hub after Close.
+var ErrHubClosed = errors.New("hub: closed")
+
+// Config configures a broadcast hub.
+type Config struct {
+	// Addr is the TCP listen address (host:port; port 0 for ephemeral).
+	Addr string
+	// MaxSubs bounds concurrent subscribers (default 8); connections
+	// past the bound are rejected and journaled.
+	MaxSubs int
+	// Queue is the per-subscriber frame backlog (default 16). A full
+	// queue drops its oldest frame and journals the overflow, the same
+	// drop-oldest contract as the obs /events live tail.
+	Queue int
+	// History is how many published frames the hub retains for
+	// late-joining or resuming subscribers (default 2*Queue). A hello
+	// asking for steps older than the retention starts at the oldest
+	// retained frame.
+	History int
+	// Codec is the wire codec for subscriber streams. Temporal codecs
+	// keyframe automatically on every fresh subscriber connection.
+	Codec transport.CodecID
+	// WriteTimeout bounds each frame write to a subscriber (default
+	// 10s); a wedged subscriber is disconnected, never waited on.
+	WriteTimeout time.Duration
+	// HelloTimeout bounds the wait for a new connection's hello
+	// (default 5s).
+	HelloTimeout time.Duration
+	// Rank labels journal events.
+	Rank int
+	// Journal, when set, receives subscribe/steer/overflow events.
+	Journal *journal.Writer
+}
+
+// frame is one published frame: a pooled vtkio payload shared by the
+// history ring and every subscriber queue via refcount. The final
+// release returns the buffer to the mempool — dropping a reference on
+// the floor is a leak, never a double free.
+type frame struct {
+	step    int64
+	payload []byte
+	refs    atomic.Int32
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+func (f *frame) retain() { f.refs.Add(1) }
+
+func (f *frame) release() {
+	if f.refs.Add(-1) == 0 {
+		mempool.PutBytes(f.payload)
+		f.payload = nil
+		framePool.Put(f)
+	}
+}
+
+// encBuf is a minimal growable write buffer ([]byte as io.Writer) for
+// the publish-path vtkio serialization scratch.
+type encBuf []byte
+
+func (b *encBuf) Write(p []byte) (int, error) {
+	*b = append(*b, p...)
+	return len(p), nil
+}
+
+// subscriber is one attached viewer: a bounded frame ring drained by a
+// dedicated sender goroutine, fed by PublishFrame without ever blocking.
+type subscriber struct {
+	slot int
+	name string
+	from int64
+	conn *transport.Conn
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	ring   []*frame
+	head   int
+	count  int
+	done   bool // no more enqueues; sender drains the ring then stops
+	drops  int64
+	closed sync.Once
+
+	gDepth, gDrops, gLag *telemetry.Gauge
+}
+
+// enqueue adds f (ownership of one reference transfers to the queue).
+// On overflow the oldest queued frame is evicted and returned for the
+// caller to journal and release; the publisher never blocks.
+func (s *subscriber) enqueue(f *frame) (evicted *frame) {
+	s.mu.Lock()
+	if s.done {
+		s.mu.Unlock()
+		f.release()
+		return nil
+	}
+	if s.count == len(s.ring) {
+		evicted = s.ring[s.head]
+		s.ring[s.head] = nil
+		s.head = (s.head + 1) % len(s.ring)
+		s.count--
+		s.drops++
+		s.gDrops.Set(s.drops)
+	}
+	s.ring[(s.head+s.count)%len(s.ring)] = f
+	s.count++
+	s.gDepth.Set(int64(s.count))
+	s.cond.Signal()
+	s.mu.Unlock()
+	return evicted
+}
+
+// dequeue blocks until a frame is available or the queue is finished
+// and drained; ok=false means the sender should stop.
+func (s *subscriber) dequeue() (f *frame, ok bool) {
+	s.mu.Lock()
+	for s.count == 0 && !s.done {
+		s.cond.Wait()
+	}
+	if s.count == 0 {
+		s.mu.Unlock()
+		return nil, false
+	}
+	f = s.ring[s.head]
+	s.ring[s.head] = nil
+	s.head = (s.head + 1) % len(s.ring)
+	s.count--
+	s.gDepth.Set(int64(s.count))
+	s.mu.Unlock()
+	return f, true
+}
+
+// finish stops new enqueues; queued frames still drain (graceful
+// end-of-run: the sender flushes the backlog, then sends Done).
+func (s *subscriber) finish() {
+	s.mu.Lock()
+	s.done = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// abort is finish plus dropping the backlog (abrupt teardown after a
+// send or read error — the peer is gone, the frames have no taker).
+func (s *subscriber) abort() {
+	s.mu.Lock()
+	s.done = true
+	for s.count > 0 {
+		f := s.ring[s.head]
+		s.ring[s.head] = nil
+		s.head = (s.head + 1) % len(s.ring)
+		s.count--
+		f.release()
+	}
+	s.gDepth.Set(0)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// queued reports the current backlog depth.
+func (s *subscriber) queued() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Hub is the broadcast layer. Create with New, serve with Serve (or
+// coupling.RunHubSupervised), feed with PublishFrame, stop with Close.
+type Hub struct {
+	cfg Config
+	ln  net.Listener
+
+	// pmu serializes PublishFrame and guards its scratch (grid, enc).
+	pmu  sync.Mutex
+	grid *data.StructuredGrid
+	enc  encBuf
+
+	// mu guards membership and the history ring. Lock order: mu before
+	// any subscriber.mu.
+	mu      sync.Mutex
+	subs    []*subscriber
+	nsubs   int
+	history []*frame
+	hhead   int
+	hcount  int
+	closed  bool
+
+	// latest is the newest published step, read lock-free by sender
+	// goroutines for the lag gauge.
+	latest    atomic.Int64
+	published atomic.Int64
+
+	// steer is the cumulative last-writer-wins steering state.
+	smu   sync.Mutex
+	steer State
+
+	wg sync.WaitGroup
+
+	slotDepth, slotDrops, slotLag []*telemetry.Gauge
+}
+
+// New validates cfg, opens the listener, and resolves the per-slot
+// gauge series. The caller still must run Serve to accept subscribers.
+func New(cfg Config) (*Hub, error) {
+	if cfg.MaxSubs <= 0 {
+		cfg.MaxSubs = 8
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 16
+	}
+	if cfg.History <= 0 {
+		cfg.History = 2 * cfg.Queue
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = 5 * time.Second
+	}
+	if !cfg.Codec.Valid() {
+		return nil, fmt.Errorf("hub: invalid codec %d", cfg.Codec)
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("hub: listen %s: %w", cfg.Addr, err)
+	}
+	h := &Hub{
+		cfg:     cfg,
+		ln:      ln,
+		subs:    make([]*subscriber, cfg.MaxSubs),
+		history: make([]*frame, cfg.History),
+	}
+	h.latest.Store(-1)
+	// The slot domain is closed and bounded by MaxSubs, so the dynamic
+	// series names below are auditable: hub.sub<slot>.{queue_depth,
+	// dropped_frames, lag_steps}.
+	gauge := func(slot int, kind string) *telemetry.Gauge {
+		//lint:ignore metricname slot/kind are drawn from closed bounded domains (MaxSubs slots, three kinds)
+		return telemetry.Default.Gauge("hub.sub" + strconv.Itoa(slot) + "." + kind)
+	}
+	for i := 0; i < cfg.MaxSubs; i++ {
+		h.slotDepth = append(h.slotDepth, gauge(i, "queue_depth"))
+		h.slotDrops = append(h.slotDrops, gauge(i, "dropped_frames"))
+		h.slotLag = append(h.slotLag, gauge(i, "lag_steps"))
+	}
+	return h, nil
+}
+
+// Addr reports the bound listen address (useful with port 0).
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Published reports the number of frames published so far — the
+// supervision progress probe.
+func (h *Hub) Published() int64 { return h.published.Load() }
+
+// Subscribers reports the current subscriber count.
+func (h *Hub) Subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.nsubs
+}
+
+// Backlog reports the total queued frames across all subscribers —
+// zero means every published frame has been handed to the wire.
+func (h *Hub) Backlog() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	total := 0
+	for _, s := range h.subs {
+		if s != nil {
+			total += s.queued()
+		}
+	}
+	return total
+}
+
+// Current implements Source: a snapshot of the cumulative steering
+// state. The step argument is ignored — live steering applies at the
+// next boundary, whatever step that is.
+func (h *Hub) Current(int) State {
+	h.smu.Lock()
+	defer h.smu.Unlock()
+	return h.steer
+}
+
+// Steer folds one steer message into the hub state as if a subscriber
+// had sent it (also the entry point for local/scripted drivers).
+func (h *Hub) Steer(who string, m Msg) {
+	h.smu.Lock()
+	h.steer.Merge(m)
+	seq := h.steer.Seq
+	h.smu.Unlock()
+	ctrSteer.Inc()
+	h.cfg.Journal.Emit(journal.Event{
+		Type: journal.TypeSteer, Rank: h.cfg.Rank, Step: int(h.latest.Load()),
+		Detail: fmt.Sprintf("recv from=%s seq=%d %s", who, seq, m),
+	})
+}
+
+// Serve accepts subscribers until the context is canceled or the hub is
+// closed. Safe to call again after a supervised restart, as long as the
+// hub itself has not been closed.
+func (h *Hub) Serve(ctx context.Context) error {
+	stop := make(chan struct{})
+	defer close(stop)
+	//lint:ignore nakedgo infallible select-then-Close unblocker; the Close error is re-observed by the Accept loop it wakes
+	go func() {
+		select {
+		case <-ctx.Done():
+			h.ln.Close()
+		case <-stop:
+		}
+	}()
+	for {
+		nc, err := h.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || h.isClosed() {
+				return nil
+			}
+			return fmt.Errorf("hub: accept: %w", err)
+		}
+		h.wg.Add(1)
+		go func() {
+			// serveSubscriber recovers protocol panics itself; this outer
+			// handler catches anything thrown before its recovery defer is
+			// installed, so one bad connection can never take out Accept.
+			defer func() {
+				if p := recover(); p != nil {
+					h.cfg.Journal.Error(h.cfg.Rank, int(h.latest.Load()),
+						fmt.Errorf("hub: subscriber setup panic: %v", p))
+				}
+			}()
+			h.serveSubscriber(nc)
+		}()
+	}
+}
+
+func (h *Hub) isClosed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
+// Interrupt unblocks Serve and every subscriber goroutine without the
+// graceful drain — the supervision teardown hook.
+func (h *Hub) Interrupt() {
+	h.ln.Close()
+	h.mu.Lock()
+	subs := make([]*subscriber, 0, h.nsubs)
+	for _, s := range h.subs {
+		if s != nil {
+			subs = append(subs, s)
+		}
+	}
+	h.mu.Unlock()
+	for _, s := range subs {
+		s.abort()
+		s.conn.Close()
+	}
+}
+
+// serveSubscriber owns one accepted connection: wait for the hello,
+// register, then loop reading control frames until the peer leaves. A
+// panic in the per-subscriber protocol tears down this subscriber only,
+// never the hub.
+func (h *Hub) serveSubscriber(nc net.Conn) {
+	defer h.wg.Done()
+	conn := transport.NewConn(nc)
+	conn.SetCodec(h.cfg.Codec)
+	conn.SetMaxFrame(transport.MaxControlFrame)
+	// Until the hello arrives, bound the read so a silent connection
+	// cannot hold a slot-less goroutine forever.
+	conn.SetTimeouts(h.cfg.HelloTimeout, h.cfg.WriteTimeout)
+
+	var sub *subscriber
+	reason := "done"
+	defer func() {
+		if p := recover(); p != nil {
+			reason = fmt.Sprintf("panic: %v", p)
+		}
+		if sub != nil {
+			h.unsubscribe(sub, reason)
+		} else {
+			conn.Close()
+		}
+	}()
+
+	conn.OnControl(func(p []byte) error {
+		m, err := DecodeMsg(p)
+		if err != nil {
+			h.cfg.Journal.Error(h.cfg.Rank, int(h.latest.Load()), err)
+			return err
+		}
+		switch m.Kind {
+		case KindHello:
+			if sub != nil {
+				return fmt.Errorf("hub: duplicate hello from %s", sub.name)
+			}
+			// A registered subscriber may idle indefinitely between steering
+			// messages, so drop the read deadline now — before register
+			// starts the sender goroutine, which shares the timeout fields.
+			conn.SetTimeouts(0, h.cfg.WriteTimeout)
+			s, err := h.register(m, conn)
+			if err != nil {
+				return err
+			}
+			sub = s
+			return nil
+		case KindSteer:
+			if sub == nil {
+				return fmt.Errorf("hub: steer before hello")
+			}
+			h.Steer(sub.name, m)
+			return nil
+		default:
+			return fmt.Errorf("hub: unexpected control kind %d", m.Kind)
+		}
+	})
+	for {
+		typ, _, _, err := conn.Recv()
+		if err != nil {
+			reason = err.Error()
+			return
+		}
+		if typ == transport.MsgDone {
+			reason = "client left"
+			return
+		}
+		reason = fmt.Sprintf("protocol error: unexpected message type %d", typ)
+		return
+	}
+}
+
+// register claims a slot for a subscriber and seeds its queue from the
+// history ring at its requested cursor, so a resumed viewer replays the
+// retained tail before joining the live stream.
+func (h *Hub) register(m Msg, conn *transport.Conn) (*subscriber, error) {
+	name := m.Name
+	if name == "" {
+		name = "sub"
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("hub: registering %s: %w", name, ErrHubClosed)
+	}
+	slot := -1
+	for i, s := range h.subs {
+		if s == nil {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		h.mu.Unlock()
+		h.cfg.Journal.Emit(journal.Event{
+			Type: journal.TypeSubscribe, Rank: h.cfg.Rank, Step: int(m.From),
+			Detail: fmt.Sprintf("reject name=%s: subscriber limit %d reached", name, len(h.subs)),
+		})
+		return nil, fmt.Errorf("hub: subscriber limit %d reached", len(h.subs))
+	}
+	s := &subscriber{
+		slot: slot, name: name, from: m.From, conn: conn,
+		ring:   make([]*frame, h.cfg.Queue),
+		gDepth: h.slotDepth[slot], gDrops: h.slotDrops[slot], gLag: h.slotLag[slot],
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.gDepth.Set(0)
+	s.gDrops.Set(0)
+	s.gLag.Set(0)
+	seeded := 0
+	if m.From >= 0 {
+		for i := 0; i < h.hcount; i++ {
+			f := h.history[(h.hhead+i)%len(h.history)]
+			if f.step >= m.From {
+				f.retain()
+				if ev := s.enqueue(f); ev != nil {
+					// Catch-up exceeded the queue bound; the overflow is
+					// journaled below like any live drop.
+					ctrDropped.Inc()
+					h.cfg.Journal.Emit(journal.Event{
+						Type: journal.TypeOverflow, Rank: h.cfg.Rank, Step: int(ev.step), Elements: 1,
+						Detail: fmt.Sprintf("hub subscriber %s slot=%d dropped oldest queued frame (catch-up)", name, slot),
+					})
+					ev.release()
+				}
+				seeded++
+			}
+		}
+	}
+	h.subs[slot] = s
+	h.nsubs++
+	gSubscribers.Set(int64(h.nsubs))
+	h.mu.Unlock()
+	h.cfg.Journal.Emit(journal.Event{
+		Type: journal.TypeSubscribe, Rank: h.cfg.Rank, Step: int(m.From),
+		Detail: fmt.Sprintf("join name=%s slot=%d from=%d seeded=%d", name, slot, m.From, seeded),
+	})
+	h.wg.Add(1)
+	go func() {
+		// A panic in the send path tears down this subscriber only.
+		defer func() {
+			if p := recover(); p != nil {
+				h.unsubscribe(s, fmt.Sprintf("sender panic: %v", p))
+			}
+		}()
+		h.sender(s)
+	}()
+	return s, nil
+}
+
+// unsubscribe removes a subscriber; idempotent across the sender and
+// reader goroutines (whichever fails first journals its reason).
+func (h *Hub) unsubscribe(s *subscriber, reason string) {
+	s.closed.Do(func() {
+		h.mu.Lock()
+		if h.subs[s.slot] == s {
+			h.subs[s.slot] = nil
+			h.nsubs--
+			gSubscribers.Set(int64(h.nsubs))
+		}
+		h.mu.Unlock()
+		h.cfg.Journal.Emit(journal.Event{
+			Type: journal.TypeSubscribe, Rank: h.cfg.Rank, Step: int(h.latest.Load()),
+			Detail: fmt.Sprintf("leave name=%s slot=%d reason=%s", s.name, s.slot, reason),
+		})
+	})
+	s.abort()
+	s.conn.Close()
+}
+
+// sender drains one subscriber's queue onto its connection. Each
+// subscriber connection carries its own codec instance and temporal
+// reference, so the first frame after any (re)connect is a keyframe
+// whenever the codec is temporal.
+func (h *Hub) sender(s *subscriber) {
+	defer h.wg.Done()
+	for {
+		f, ok := s.dequeue()
+		if !ok {
+			// Graceful drain complete: end the stream so followers exit.
+			s.conn.SendDone()
+			h.unsubscribe(s, "stream complete")
+			return
+		}
+		s.conn.Step = int(f.step)
+		err := s.conn.SendPayload(f.payload)
+		if err == nil {
+			s.gLag.Set(h.latest.Load() - f.step)
+		}
+		f.release()
+		if err != nil {
+			h.unsubscribe(s, "send: "+err.Error())
+			return
+		}
+	}
+}
+
+// PublishFrame serializes one rendered frame and fans it out: one vtkio
+// encode into a pooled buffer, one reference per subscriber queue plus
+// one for the history ring. It never blocks on subscriber progress —
+// a full queue drops its oldest frame (journaled as an in-band overflow
+// event) and the sim/render loop proceeds untouched. Safe on a nil hub
+// (publishing is a no-op), so callers can wire it unconditionally.
+func (h *Hub) PublishFrame(step int, fr *fb.Frame) {
+	if h == nil {
+		return
+	}
+	h.pmu.Lock()
+	h.grid = FrameGrid(fr, h.grid)
+	h.enc = h.enc[:0]
+	if err := vtkio.Write(&h.enc, h.grid); err != nil {
+		h.pmu.Unlock()
+		h.cfg.Journal.Error(h.cfg.Rank, step, fmt.Errorf("hub: encoding frame: %w", err))
+		return
+	}
+	f := framePool.Get().(*frame)
+	f.step = int64(step)
+	buf := mempool.Bytes(len(h.enc))
+	copy(buf, h.enc)
+	f.payload = buf
+	f.refs.Store(1) // the history ring's reference
+
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		h.pmu.Unlock()
+		f.release()
+		return
+	}
+	if h.hcount == len(h.history) {
+		old := h.history[h.hhead]
+		h.history[h.hhead] = nil
+		h.hhead = (h.hhead + 1) % len(h.history)
+		h.hcount--
+		old.release()
+	}
+	h.history[(h.hhead+h.hcount)%len(h.history)] = f
+	h.hcount++
+	h.latest.Store(int64(step))
+	for _, s := range h.subs {
+		if s == nil {
+			continue
+		}
+		f.retain()
+		if ev := s.enqueue(f); ev != nil {
+			ctrDropped.Inc()
+			h.cfg.Journal.Emit(journal.Event{
+				Type: journal.TypeOverflow, Rank: h.cfg.Rank, Step: int(ev.step), Elements: 1,
+				Detail: fmt.Sprintf("hub subscriber %s slot=%d dropped oldest queued frame", s.name, s.slot),
+			})
+			ev.release()
+		} else {
+			ctrFanout.Inc()
+		}
+	}
+	h.mu.Unlock()
+	h.pmu.Unlock()
+	h.published.Add(1)
+	ctrPublished.Inc()
+}
+
+// Close stops accepting, lets every subscriber drain its backlog (ends
+// each stream with Done), waits for all goroutines, and releases the
+// history. Idempotent.
+func (h *Hub) Close() error {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.closed = true
+	subs := make([]*subscriber, 0, h.nsubs)
+	for _, s := range h.subs {
+		if s != nil {
+			subs = append(subs, s)
+		}
+	}
+	h.mu.Unlock()
+	h.ln.Close()
+	for _, s := range subs {
+		s.finish()
+	}
+	h.wg.Wait()
+	h.mu.Lock()
+	for h.hcount > 0 {
+		f := h.history[h.hhead]
+		h.history[h.hhead] = nil
+		h.hhead = (h.hhead + 1) % len(h.history)
+		h.hcount--
+		f.release()
+	}
+	h.mu.Unlock()
+	return nil
+}

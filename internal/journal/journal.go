@@ -70,6 +70,19 @@ const (
 	// oldest queued events (drop-oldest backpressure); Elements carries
 	// the dropped count and Detail identifies the subscriber.
 	TypeOverflow = "overflow"
+	// TypeSteer records steering state moving through the system: a hub
+	// receiving a control message from a subscriber ("recv ..."), a viz
+	// proxy applying camera/isovalue axes at a step boundary ("viz
+	// applied ..."), a viz proxy forwarding simulation axes over the
+	// control channel ("forward ..."), or a sim proxy applying
+	// sampling-ratio/codec axes ("sim applied ..."). The applied events
+	// carry the step the change took effect at, which is what makes a
+	// steered run replayable.
+	TypeSteer = "steer"
+	// TypeSubscribe records hub subscriber membership: Detail starts
+	// with "join", "leave", or "reject" and identifies the subscriber
+	// and its starting cursor.
+	TypeSubscribe = "subscribe"
 )
 
 // Phase names used by timed events. Breakdown sums event durations by

@@ -9,9 +9,11 @@ package proxy
 import (
 	"fmt"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"github.com/ascr-ecx/eth/internal/data"
+	"github.com/ascr-ecx/eth/internal/hub"
 	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/sampling"
 	"github.com/ascr-ecx/eth/internal/telemetry"
@@ -128,6 +130,12 @@ type SimConfig struct {
 	// Journal, when set, receives one event per dataset fetch, sampling
 	// decision, wire transfer, and error.
 	Journal *journal.Writer
+	// Steering, when set, is consulted at every step boundary: sampling
+	// ratio and wire codec changes apply to the next step's data, are
+	// journaled, and are seq-gated so each update applies exactly once.
+	// Wire steering forwarded by the visualization proxy folds into the
+	// same boundary.
+	Steering hub.Source
 }
 
 // SimProxy is one simulation-proxy rank.
@@ -138,6 +146,14 @@ type SimProxy struct {
 	// stop, when set, drains the serve loop at the next step boundary
 	// (graceful shutdown: the in-flight step completes and is acked).
 	stop <-chan struct{}
+	// Steering state. steerSeq gates the scripted source; wire (under
+	// wmu, written by the connection's control-frame handler) buffers
+	// steering forwarded by the visualization proxy until the next step
+	// boundary; wireSeq gates its application.
+	steerSeq uint64
+	wmu      sync.Mutex
+	wire     hub.State
+	wireSeq  uint64
 }
 
 // SetStop installs a drain channel: when it fires, ServeFrom finishes
@@ -182,6 +198,9 @@ func (s *SimProxy) Steps() int { return s.src.Steps() }
 // the sample phase.
 func (s *SimProxy) StepData(i int) (_ data.Dataset, err error) {
 	defer containPanic(s.cfg.Journal, s.cfg.Rank, i, "sim", &err)
+	// Tight-coupling drivers call StepData directly; ServeFrom already
+	// applied steering for this step, in which case this is a no-op.
+	s.applySteering(i, nil)
 	t0 := time.Now()
 	ds, err := s.src.Step(i)
 	if err != nil {
@@ -222,6 +241,51 @@ func (s *SimProxy) StepData(i int) (_ data.Dataset, err error) {
 			s.cfg.SamplingMethod, ratioOrOne(s.cfg.SamplingRatio), sampled.Count(), before),
 	})
 	return sampled, nil
+}
+
+// applySteering folds pending steering (scripted source and/or wire
+// messages forwarded by the visualization proxy) into the proxy's
+// sampling ratio and wire codec at a step boundary. Both paths are
+// seq-gated so each update applies exactly once; every effective change
+// is journaled, making a steered run replayable from its journal.
+func (s *SimProxy) applySteering(step int, conn *transport.Conn) {
+	var pend hub.State
+	if s.cfg.Steering != nil {
+		if sc := s.cfg.Steering.Current(step); sc.Seq > s.steerSeq {
+			s.steerSeq = sc.Seq
+			pend = sc
+		}
+	}
+	s.wmu.Lock()
+	if s.wire.Seq > s.wireSeq {
+		s.wireSeq = s.wire.Seq
+		// Wire steering arrived after any scripted state was captured, so
+		// it wins the per-axis merge.
+		if s.wire.HasRatio {
+			pend.HasRatio, pend.Ratio = true, s.wire.Ratio
+		}
+		if s.wire.HasCodec {
+			pend.HasCodec, pend.Codec = true, s.wire.Codec
+		}
+	}
+	s.wmu.Unlock()
+	if pend.HasRatio && pend.Ratio != s.cfg.SamplingRatio {
+		s.cfg.SamplingRatio = pend.Ratio
+		s.cfg.Journal.Emit(journal.Event{
+			Type: journal.TypeSteer, Rank: s.cfg.Rank, Step: step,
+			Detail: fmt.Sprintf("sim applied step=%d ratio=%g", step, pend.Ratio),
+		})
+	}
+	if pend.HasCodec && pend.Codec != s.codec {
+		s.codec = pend.Codec
+		if conn != nil {
+			conn.SetCodec(pend.Codec)
+		}
+		s.cfg.Journal.Emit(journal.Event{
+			Type: journal.TypeSteer, Rank: s.cfg.Rank, Step: step,
+			Detail: fmt.Sprintf("sim applied step=%d codec=%s", step, pend.Codec),
+		})
+	}
 }
 
 // ratioOrOne reports the effective sampling ratio (0 means disabled = 1).
@@ -267,6 +331,23 @@ func (s *SimProxy) ServeFrom(conn *transport.Conn, from int) (next int, bytes in
 	conn.SetCodec(s.codec)
 	conn.Journal = s.cfg.Journal
 	conn.Rank = s.cfg.Rank
+	// Steering forwarded by the visualization proxy arrives as control
+	// frames on this connection (processed inside Recv while waiting for
+	// acks); buffer it for the next step boundary.
+	conn.OnControl(func(p []byte) error {
+		m, err := hub.DecodeMsg(p)
+		if err != nil {
+			s.cfg.Journal.Error(s.cfg.Rank, -1, err)
+			return err
+		}
+		if m.Kind != hub.KindSteer {
+			return fmt.Errorf("proxy: unexpected control kind %d on sim connection", m.Kind)
+		}
+		s.wmu.Lock()
+		s.wire.Merge(m)
+		s.wmu.Unlock()
+		return nil
+	})
 	next = from
 	for step := from; step < s.Steps(); step++ {
 		if s.stop != nil {
@@ -276,6 +357,7 @@ func (s *SimProxy) ServeFrom(conn *transport.Conn, from int) (next int, bytes in
 			default:
 			}
 		}
+		s.applySteering(step, conn)
 		conn.Step = step
 		ds, err := s.StepData(step)
 		if err != nil {

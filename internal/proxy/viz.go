@@ -12,6 +12,7 @@ import (
 	"github.com/ascr-ecx/eth/internal/camera"
 	"github.com/ascr-ecx/eth/internal/data"
 	"github.com/ascr-ecx/eth/internal/fb"
+	"github.com/ascr-ecx/eth/internal/hub"
 	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/render"
 	"github.com/ascr-ecx/eth/internal/telemetry"
@@ -24,6 +25,13 @@ var (
 	ctrSteps  = telemetry.Default.Counter("proxy.steps")
 	ctrImages = telemetry.Default.Counter("proxy.images")
 )
+
+// FramePublisher receives each completed step's final rendered frame
+// for fan-out to live viewers (implemented by hub.Hub). Publishing must
+// never block the render loop.
+type FramePublisher interface {
+	PublishFrame(step int, f *fb.Frame)
+}
 
 // VizConfig configures a visualization-proxy rank.
 type VizConfig struct {
@@ -54,6 +62,16 @@ type VizConfig struct {
 	// Journal, when set, receives one event per render, analysis
 	// operation, wire transfer, and error.
 	Journal *journal.Writer
+	// Publisher, when set, receives each step's final rendered frame
+	// (the broadcast hub). Publishing is non-blocking by contract.
+	Publisher FramePublisher
+	// Steering, when set, is consulted at every step boundary: camera
+	// and isovalue steering is applied locally before rendering;
+	// sampling-ratio and codec steering is forwarded upstream to the
+	// simulation proxy over the control channel. Steering is applied
+	// only between steps and journaled, so a run is replayable from its
+	// journal.
+	Steering hub.Source
 }
 
 // StepResult instruments one rendered time step.
@@ -95,6 +113,17 @@ type VizProxy struct {
 	// the per-step path off the registry's name-lookup lock.
 	imgHist *telemetry.Histogram
 	opSpans []*telemetry.SpanMetric
+	// Steering cursors: steerSeq gates local (camera/isovalue)
+	// application, fwdSeq gates upstream forwarding, so each steering
+	// update is applied and forwarded exactly once.
+	steerSeq uint64
+	fwdSeq   uint64
+	hasCam   bool
+	camOv    hub.View
+	hasIso   bool
+	isoOv    float32
+	// ctrl is the reusable control-frame encode buffer.
+	ctrl []byte
 	// Results accumulates per-step instrumentation.
 	Results []StepResult
 }
@@ -145,6 +174,7 @@ func NewVizProxy(cfg VizConfig) (*VizProxy, error) {
 // protocol) and, for isosurface algorithms, a sliding isovalue.
 func (v *VizProxy) RenderStep(step int, ds data.Dataset) (res StepResult, err error) {
 	defer containPanic(v.cfg.Journal, v.cfg.Rank, step, "viz", &err)
+	v.applySteering(step)
 	t0 := time.Now()
 	res = StepResult{Step: step, Elements: ds.Count(), Images: v.cfg.ImagesPerStep}
 	bounds := ds.Bounds()
@@ -156,7 +186,15 @@ func (v *VizProxy) RenderStep(step int, ds data.Dataset) (res StepResult, err er
 	for img := 0; img < v.cfg.ImagesPerStep; img++ {
 		it0 := time.Now()
 		cam := orbitCamera(bounds, img, v.cfg.ImagesPerStep)
+		if v.hasCam {
+			cam = steerCamera(bounds, v.camOv, img, v.cfg.ImagesPerStep)
+		}
 		opt := v.cfg.Options
+		if v.hasIso {
+			// Steered isovalue replaces both the configured value and the
+			// sliding default for every image of the step.
+			opt.IsoValue = v.isoOv
+		}
 		if opt.IsoValue == 0 && isoAlgorithms[v.cfg.Algorithm] {
 			// Sliding isovalue over the sweep (§IV-A: "a varying
 			// isovalue for 1000 images").
@@ -217,6 +255,9 @@ func (v *VizProxy) RenderStep(step int, ds data.Dataset) (res StepResult, err er
 		return res, err
 	}
 	res.LastFrame = last
+	if v.cfg.Publisher != nil {
+		v.cfg.Publisher.PublishFrame(step, last)
+	}
 	v.Results = append(v.Results, res)
 	ctrSteps.Inc()
 	ctrImages.Add(int64(res.Images))
@@ -274,6 +315,96 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// applySteering folds any new steering state into the proxy's local
+// overrides at a step boundary. Last writer wins; each update is
+// applied exactly once (seq-gated) and journaled so the run can be
+// replayed deterministically from its journal.
+func (v *VizProxy) applySteering(step int) {
+	if v.cfg.Steering == nil {
+		return
+	}
+	st := v.cfg.Steering.Current(step)
+	if st.Seq <= v.steerSeq {
+		return
+	}
+	v.steerSeq = st.Seq
+	v.hasCam, v.camOv = st.HasCam, st.Cam
+	v.hasIso, v.isoOv = st.HasIso, st.Iso
+	if !st.HasCam && !st.HasIso {
+		return
+	}
+	detail := fmt.Sprintf("viz applied seq=%d", st.Seq)
+	if st.HasCam {
+		detail += fmt.Sprintf(" cam=%g,%g,%g", st.Cam.Az, st.Cam.El, st.Cam.Dist)
+	}
+	if st.HasIso {
+		detail += fmt.Sprintf(" iso=%g", st.Iso)
+	}
+	v.cfg.Journal.Emit(journal.Event{
+		Type: journal.TypeSteer, Rank: v.cfg.Rank, Step: step, Detail: detail,
+	})
+}
+
+// forwardSteering sends any new simulation-side steering (sampling
+// ratio, wire codec) upstream as a control frame. Called from the
+// Receive loop between steps, so FIFO ordering pins the step at which
+// the simulation proxy observes the change.
+func (v *VizProxy) forwardSteering(conn *transport.Conn, step int) error {
+	if v.cfg.Steering == nil {
+		return nil
+	}
+	st := v.cfg.Steering.Current(step)
+	if st.Seq <= v.fwdSeq {
+		return nil
+	}
+	v.fwdSeq = st.Seq
+	if !st.HasRatio && !st.HasCodec {
+		return nil
+	}
+	m := hub.Msg{Kind: hub.KindSteer}
+	if st.HasRatio {
+		m.Axes |= hub.AxisRatio
+		m.Ratio = st.Ratio
+	}
+	if st.HasCodec {
+		m.Axes |= hub.AxisCodec
+		m.Codec = st.Codec
+	}
+	p, err := hub.EncodeMsg(v.ctrl[:0], m)
+	if err != nil {
+		return fmt.Errorf("proxy: encoding steering forward: %w", err)
+	}
+	v.ctrl = p
+	v.cfg.Journal.Emit(journal.Event{
+		Type: journal.TypeSteer, Phase: journal.PhaseTransport,
+		Rank: v.cfg.Rank, Step: step,
+		Detail: fmt.Sprintf("forward seq=%d %s", st.Seq, m),
+	})
+	return conn.SendControl(p)
+}
+
+// steerCamera frames bounds from a steered view: the subscriber's
+// azimuth/elevation anchor the orbit (the per-image sweep still
+// advances from that anchor) and Dist scales the bounds-diagonal
+// standoff.
+func steerCamera(bounds vec.AABB, view hub.View, img, total int) camera.Camera {
+	c := bounds.Center()
+	d := bounds.Diagonal()
+	if d == 0 {
+		d = 1
+	}
+	az := view.Az + 2*math.Pi*float64(img)/float64(maxInt(total, 1))
+	el := view.El
+	dir := vec.New(math.Cos(az)*math.Cos(el), math.Sin(el), math.Sin(az)*math.Cos(el)).Norm()
+	dist := view.Dist
+	if dist <= 0 {
+		dist = 1.2
+	}
+	cam := camera.LookAt(c.Add(dir.Scale(d*dist)), c, vec.New(0, 1, 0))
+	cam.FitClip(bounds)
+	return cam
+}
+
 // SetAllowGaps controls whether Receive tolerates the wire step jumping
 // past the next expected step. The coupling degradation policy enables
 // it when skipped steps are permitted; the default (false) treats a gap
@@ -300,6 +431,10 @@ func (v *VizProxy) Receive(conn *transport.Conn) error {
 	conn.SetDatasetReuse(true)
 	for {
 		next := v.NextStep()
+		if err := v.forwardSteering(conn, next); err != nil {
+			v.cfg.Journal.Error(v.cfg.Rank, next, err)
+			return err
+		}
 		conn.Step = next
 		typ, ds, wireStep, err := conn.Recv()
 		if err != nil {

@@ -21,6 +21,7 @@
 //	MsgDataset/MsgDatasetFlate: [1B type][8B payload len][8B step][payload][4B CRC32C]  (legacy v2)
 //	MsgAck:                     [1B type][8B len=8][8B step]
 //	MsgDone:                    [1B type][8B len=0]
+//	MsgControl:                 [1B type][8B payload len][payload][4B CRC32C]
 //
 // with all integers big-endian. Receivers accept both framings; senders
 // always emit v3. Connections optionally arm per-operation read/write
@@ -87,7 +88,22 @@ const (
 	// is self-describing per frame. Senders always emit this framing;
 	// Recv still reports every dataset framing as MsgDataset.
 	MsgDatasetV3
+	// MsgControl carries a small out-of-band control payload (steering
+	// messages) upstream, against the dataset flow:
+	//
+	//	[1B type][8B payload len][payload][4B CRC32C]
+	//
+	// with the trailer computed over header+payload like a dataset
+	// frame. Recv consumes control frames internally, handing the
+	// payload to the OnControl handler, and keeps waiting for the next
+	// data frame — control never perturbs the dataset protocol.
+	MsgControl
 )
+
+// MaxControlFrame bounds a control payload: steering messages are tens
+// of bytes, so anything beyond 64 KiB is a corrupt header or a hostile
+// peer, rejected before allocation.
+const MaxControlFrame = 1 << 16
 
 // DefaultMaxFrame bounds a frame read from the wire (guards corrupt
 // headers) when SetMaxFrame has not lowered it. 1 GiB fits in int on
@@ -183,6 +199,12 @@ type Conn struct {
 	// stream of steps decodes with zero steady-state allocation.
 	prev  data.Dataset
 	reuse bool
+
+	// onControl receives each MsgControl payload from inside Recv; ctrl
+	// is the reusable receive buffer backing it (valid only until the
+	// next Recv, like a reused dataset).
+	onControl func(payload []byte) error
+	ctrl      []byte
 }
 
 // NewConn wraps a net.Conn in the framed protocol.
@@ -335,6 +357,28 @@ func (c *Conn) SendDataset(ds data.Dataset) error {
 	if err := vtkio.Write(&c.payload, ds); err != nil {
 		return err
 	}
+	return c.sendPayload(t0, ds.Count())
+}
+
+// SendPayload streams an already-serialized vtkio payload as a dataset
+// frame under the configured codec — the fan-out entry point: a
+// broadcaster serializes a dataset once and replays the bytes to every
+// subscriber connection through each connection's own codec and temporal
+// reference state. The bytes are copied into the Conn's scratch, so the
+// caller keeps ownership of p.
+func (c *Conn) SendPayload(p []byte) error {
+	t0 := time.Now()
+	if !c.codec.Valid() {
+		return fmt.Errorf("transport: send with invalid codec %s", c.codec)
+	}
+	c.payload = append(c.payload[:0], p...)
+	return c.sendPayload(t0, 0)
+}
+
+// sendPayload frames and sends c.payload (the plain vtkio bytes staged
+// by SendDataset or SendPayload): codec encode, v3 header, CRC32C
+// trailer, and the plain-layer temporal-reference swap.
+func (c *Conn) sendPayload(t0 time.Time, elements int) error {
 	plain := []byte(c.payload)
 	id := c.codec
 	if id.Temporal() && !c.sprevOK {
@@ -356,7 +400,7 @@ func (c *Conn) SendDataset(ds data.Dataset) error {
 	c.Journal.Emit(journal.Event{
 		Type: journal.TypeSerialize, Phase: journal.PhaseSerialize,
 		Rank: c.Rank, Step: c.Step, DurNS: int64(serDur),
-		Bytes: int64(len(out)), Elements: ds.Count(),
+		Bytes: int64(len(out)), Elements: elements,
 	})
 
 	// Frame: 18-byte header (type, payload length, step, codec), payload,
@@ -431,6 +475,73 @@ func (c *Conn) SendDone() error {
 	return c.writeErr(c.bw.Flush())
 }
 
+// SendControl frames p as a MsgControl message with a CRC32C trailer
+// over header+payload. It shares the write-side scratch with the other
+// Send* methods, so it must be called from the connection's sending
+// goroutine (in practice: between a Recv and the next SendAck on the
+// receiving side of a dataset stream, or between Recvs on a subscriber
+// connection).
+func (c *Conn) SendControl(p []byte) error {
+	if len(p) > MaxControlFrame {
+		return fmt.Errorf("transport: control payload %d bytes exceeds %d: %w",
+			len(p), MaxControlFrame, ErrFrameTooLarge)
+	}
+	c.armWrite()
+	c.scratch[0] = byte(MsgControl)
+	binary.BigEndian.PutUint64(c.scratch[1:9], uint64(len(p)))
+	crc := crc32.Update(0, castagnoli, c.scratch[:9])
+	crc = crc32.Update(crc, castagnoli, p)
+	if _, err := c.bw.Write(c.scratch[:9]); err != nil {
+		return c.writeErr(err)
+	}
+	if _, err := c.bw.Write(p); err != nil {
+		return c.writeErr(err)
+	}
+	binary.BigEndian.PutUint32(c.scratch[9:13], crc)
+	if _, err := c.bw.Write(c.scratch[9:13]); err != nil {
+		return c.writeErr(err)
+	}
+	return c.writeErr(c.bw.Flush())
+}
+
+// OnControl installs the handler Recv invokes for each MsgControl
+// payload. The payload slice is only valid for the duration of the call
+// (the buffer is reused); a handler that needs to retain it must copy.
+// A handler error aborts the Recv that consumed the frame. Without a
+// handler, an incoming control frame is a protocol error.
+func (c *Conn) OnControl(fn func(payload []byte) error) { c.onControl = fn }
+
+// recvControl finishes receiving a control frame after the common
+// 9-byte preamble (already in rscratch[:9]): payload, CRC verify over
+// the exact wire bytes, then the OnControl handler.
+func (c *Conn) recvControl(n int64) error {
+	if n > MaxControlFrame {
+		return fmt.Errorf("transport: control frame length %d exceeds %d: %w",
+			n, MaxControlFrame, ErrFrameTooLarge)
+	}
+	if int64(cap(c.ctrl)) < n {
+		c.ctrl = make([]byte, n)
+	}
+	c.ctrl = c.ctrl[:n]
+	if _, err := io.ReadFull(c.br, c.ctrl); err != nil {
+		return c.readErr(err)
+	}
+	if _, err := io.ReadFull(c.br, c.rscratch[9:13]); err != nil {
+		return c.readErr(err)
+	}
+	crc := crc32.Update(0, castagnoli, c.rscratch[:9])
+	crc = crc32.Update(crc, castagnoli, c.ctrl)
+	if want := binary.BigEndian.Uint32(c.rscratch[9:13]); crc != want {
+		ctrCRCErrors.Inc()
+		return fmt.Errorf("transport: control frame: %w", ErrChecksum)
+	}
+	ctrCRCChecked.Inc()
+	if c.onControl == nil {
+		return fmt.Errorf("transport: unexpected control frame (no handler installed)")
+	}
+	return c.onControl(c.ctrl)
+}
+
 func (c *Conn) writeHeader(t MsgType, n int64) error {
 	c.scratch[0] = byte(t)
 	binary.BigEndian.PutUint64(c.scratch[1:9], uint64(n))
@@ -446,41 +557,49 @@ func (c *Conn) writeHeader(t MsgType, n int64) error {
 // trailer is verified over the exact wire bytes *before* any codec runs,
 // so a flipped codec byte is a checksum error, not a misdecode.
 func (c *Conn) Recv() (t MsgType, ds data.Dataset, step int64, err error) {
-	c.armRead()
-	if _, err = io.ReadFull(c.br, c.rscratch[:9]); err != nil {
-		return 0, nil, 0, c.readErr(err)
-	}
-	t = MsgType(c.rscratch[0])
-	n := int64(binary.BigEndian.Uint64(c.rscratch[1:9]))
-	if n < 0 || n > c.frameBound() {
-		return 0, nil, 0, fmt.Errorf("transport: frame length %d outside [0, %d]: %w",
-			n, c.frameBound(), ErrFrameTooLarge)
-	}
-	switch t {
-	case MsgDataset, MsgDatasetFlate, MsgDatasetV3:
-		ds, step, err = c.recvDataset(t, n)
-		if err != nil {
-			// Whatever reference state we held may no longer match the
-			// sender's; the next temporal frame must not decode against it.
-			c.rprevOK = false
-			return 0, nil, 0, err
-		}
-		return MsgDataset, ds, step, nil
-	case MsgAck:
-		if n != 8 {
-			return 0, nil, 0, fmt.Errorf("transport: ack frame length %d", n)
-		}
-		if _, err = io.ReadFull(c.br, c.rscratch[:8]); err != nil {
+	// Control frames are consumed in place (handler + continue), so the
+	// loop runs until a data frame or an error surfaces.
+	for {
+		c.armRead()
+		if _, err = io.ReadFull(c.br, c.rscratch[:9]); err != nil {
 			return 0, nil, 0, c.readErr(err)
 		}
-		return t, nil, int64(binary.BigEndian.Uint64(c.rscratch[:8])), nil
-	case MsgDone:
-		if n != 0 {
-			return 0, nil, 0, fmt.Errorf("transport: done frame length %d", n)
+		t = MsgType(c.rscratch[0])
+		n := int64(binary.BigEndian.Uint64(c.rscratch[1:9]))
+		if n < 0 || n > c.frameBound() {
+			return 0, nil, 0, fmt.Errorf("transport: frame length %d outside [0, %d]: %w",
+				n, c.frameBound(), ErrFrameTooLarge)
 		}
-		return t, nil, 0, nil
-	default:
-		return 0, nil, 0, fmt.Errorf("transport: unknown message type %d", c.rscratch[0])
+		switch t {
+		case MsgDataset, MsgDatasetFlate, MsgDatasetV3:
+			ds, step, err = c.recvDataset(t, n)
+			if err != nil {
+				// Whatever reference state we held may no longer match the
+				// sender's; the next temporal frame must not decode against it.
+				c.rprevOK = false
+				return 0, nil, 0, err
+			}
+			return MsgDataset, ds, step, nil
+		case MsgAck:
+			if n != 8 {
+				return 0, nil, 0, fmt.Errorf("transport: ack frame length %d", n)
+			}
+			if _, err = io.ReadFull(c.br, c.rscratch[:8]); err != nil {
+				return 0, nil, 0, c.readErr(err)
+			}
+			return t, nil, int64(binary.BigEndian.Uint64(c.rscratch[:8])), nil
+		case MsgDone:
+			if n != 0 {
+				return 0, nil, 0, fmt.Errorf("transport: done frame length %d", n)
+			}
+			return t, nil, 0, nil
+		case MsgControl:
+			if err := c.recvControl(n); err != nil {
+				return 0, nil, 0, err
+			}
+		default:
+			return 0, nil, 0, fmt.Errorf("transport: unknown message type %d", c.rscratch[0])
+		}
 	}
 }
 
