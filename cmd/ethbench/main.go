@@ -16,17 +16,23 @@
 //	ethbench -cpuprofile cpu.pb.gz  # pprof capture around the run
 //	ethbench -checkpoint bench.ckpt           # record each finished experiment
 //	ethbench -checkpoint bench.ckpt -resume   # skip experiments already done
+//	ethbench -run-one fig8 -trace w.jsonl     # one experiment as a fleet worker
 //
 // With -checkpoint, every completed experiment is recorded in an
 // atomically-replaced checkpoint file, and SIGINT/SIGTERM stops cleanly
 // at the next experiment boundary (exit 3). A later -resume run skips
 // every recorded experiment, so a killed overnight sweep picks up where
 // it left off instead of replaying hours of finished work.
+//
+// -run-one is the fleet worker mode ethserve drives: it runs exactly one
+// experiment, journaling run_start/run_end to the -trace file. A retried
+// attempt appends to the same journal (repairing any torn tail from a
+// crashed predecessor) and exits immediately if the journal already
+// records the experiment's run_end, so fleet retries are idempotent.
 package main
 
 import (
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -39,6 +45,7 @@ import (
 
 	"github.com/ascr-ecx/eth/internal/cluster"
 	"github.com/ascr-ecx/eth/internal/experiments"
+	"github.com/ascr-ecx/eth/internal/fleet"
 	"github.com/ascr-ecx/eth/internal/journal"
 	"github.com/ascr-ecx/eth/internal/metrics"
 	"github.com/ascr-ecx/eth/internal/obs"
@@ -60,6 +67,8 @@ func main() {
 	ckptPath := flag.String("checkpoint", "", "record each completed experiment in this checkpoint file")
 	resume := flag.Bool("resume", false, "skip experiments the -checkpoint file records as complete")
 	obsAddr := flag.String("obs", "", "serve live observability (/metrics /healthz) on this address for the whole sweep")
+	runOne := flag.String("run-one", "", "fleet worker mode: run exactly one experiment, journaling to -trace")
+	tracePath := flag.String("trace", "", "worker journal for -run-one (run_start/run_end events; enables idempotent retries)")
 	flag.Parse()
 
 	if *resume && *ckptPath == "" {
@@ -102,20 +111,22 @@ func main() {
 		order = []string{*only}
 	}
 
+	if *runOne != "" {
+		if _, ok := runs[*runOne]; !ok {
+			log.Fatalf("unknown experiment %q", *runOne)
+		}
+		os.Exit(runOneExperiment(*runOne, *tracePath, *csvDir, cfg, runs[*runOne]))
+	}
+
 	// Load the completed-experiment list when resuming; a missing
 	// checkpoint file is a fresh start.
-	var ckpt journal.Checkpoint
-	ckpt.Step = -1
+	done := fleet.NewDoneSet()
 	if *resume {
-		cp, err := journal.ReadCheckpoint(*ckptPath)
-		switch {
-		case err == nil:
-			ckpt = cp
-		case errors.Is(err, os.ErrNotExist):
-			// fresh start
-		default:
+		d, err := fleet.LoadDoneSet(*ckptPath)
+		if err != nil {
 			log.Fatal(err)
 		}
+		done = d
 	}
 
 	// With a checkpoint file, signals stop the sweep cleanly at the next
@@ -145,12 +156,12 @@ func main() {
 		if srv != nil {
 			srv.SetRun(id)
 		}
-		if ckpt.Has(id) {
+		if done.Has(id) {
 			fmt.Printf("==== %s ==== (complete in %s, skipped)\n\n", strings.ToUpper(id), *ckptPath)
 			continue
 		}
 		if ctx.Err() != nil {
-			log.Printf("interrupted; %d experiments recorded in %s (-resume continues)", len(ckpt.Done), *ckptPath)
+			log.Printf("interrupted; %d experiments recorded in %s (-resume continues)", done.Len(), *ckptPath)
 			os.Exit(supervise.ExitShutdown)
 		}
 		t0 := time.Now()
@@ -173,10 +184,8 @@ func main() {
 			}
 		}
 		if *ckptPath != "" {
-			ckpt.Done = append(ckpt.Done, id)
-			ckpt.Detail = "last=" + id
-			ckpt.T = time.Time{} // restamp at write
-			if err := journal.WriteCheckpoint(*ckptPath, ckpt); err != nil {
+			done.Add(id)
+			if err := done.Save(*ckptPath, "last="+id); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -202,6 +211,67 @@ func main() {
 		}
 		f.Close()
 	}
+}
+
+// runOneExperiment is the fleet worker mode: run exactly one experiment,
+// journaling run_start/run_end to the trace file. The journal is the
+// attempt ledger — a recorded run_end means a prior attempt already
+// finished this experiment (and wrote its CSV), so a fleet retry exits
+// 0 without redoing the work. Opening with journal.Append repairs a
+// torn tail left by a SIGKILLed predecessor and takes the writer lock,
+// enforcing the one-writer-per-journal-file contract against an orphaned
+// twin still holding the file.
+func runOneExperiment(id, trace, csvDir string, cfg experiments.Config, run func(experiments.Config) (experiments.Result, error)) int {
+	var jw *journal.Writer
+	if trace != "" {
+		w, err := journal.Append(trace)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		defer w.Close()
+		jw = w
+		events, err := journal.ReadFile(trace)
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		for _, ev := range events {
+			if ev.Type == journal.TypeRunEnd && ev.Detail == "experiment="+id {
+				fmt.Printf("==== %s ==== (already complete in %s, skipped)\n", strings.ToUpper(id), trace)
+				return 0
+			}
+		}
+	}
+	jw.Emit(journal.Event{Type: journal.TypeRunStart, Rank: -1, Step: -1, Detail: "experiment=" + id})
+	jw.Sync()
+	t0 := time.Now()
+	res, err := run(cfg)
+	if err != nil {
+		jw.Error(-1, -1, err)
+		jw.Sync()
+		log.Print(err)
+		return 1
+	}
+	fmt.Printf("==== %s ====\n", strings.ToUpper(id))
+	if err := res.Table.Fprint(os.Stdout); err != nil {
+		log.Print(err)
+		return 1
+	}
+	if csvDir != "" {
+		// The artifact lands before run_end: an attempt that dies between
+		// the two is retried, never recorded complete without its CSV.
+		if err := writeCSV(csvDir, id, res); err != nil {
+			log.Print(err)
+			return 1
+		}
+	}
+	jw.Emit(journal.Event{
+		Type: journal.TypeRunEnd, Rank: -1, Step: -1,
+		DurNS: time.Since(t0).Nanoseconds(), Detail: "experiment=" + id,
+	})
+	jw.Sync()
+	return 0
 }
 
 // spanTable tabulates where the measured-kernel time went across the

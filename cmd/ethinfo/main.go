@@ -4,7 +4,10 @@
 // it converts the dataset to the ASCII legacy VTK format so it opens in
 // ParaView/VisIt. With -journal it instead replays a JSONL run journal
 // written by `ethrun -trace`, reconstructing the run's phase breakdown,
-// event counts, and any recorded errors for post-hoc audit.
+// event counts, and any recorded errors for post-hoc audit. A fleet
+// journal (`ethserve`) additionally gets an experiment-ledger audit:
+// per-spec submit/lease/requeue/quarantine/complete tallies and the
+// completed+quarantined==submitted conservation check.
 //
 // Usage:
 //
@@ -178,6 +181,32 @@ type journalAudit struct {
 	// Hub summarizes the broadcast hub's subscriber and steering
 	// traffic; present only when the run served live viewers.
 	Hub *hubAudit `json:"hub,omitempty"`
+	// Fleet summarizes a fleet scheduler journal's experiment ledger;
+	// present only when the journal records fleet traffic.
+	Fleet *fleetAudit `json:"fleet,omitempty"`
+}
+
+// fleetAudit replays a fleet journal's experiment ledger. Spec tallies
+// (submitted, completed, quarantined, retried) count unique spec IDs;
+// leases and requeues count attempts. Balanced is the fleet's
+// conservation law: every submitted spec ended exactly one of completed
+// or quarantined — false means the fleet was killed mid-sweep (resume
+// it) or lost a spec (a bug).
+type fleetAudit struct {
+	Submitted   int  `json:"submitted"`
+	Completed   int  `json:"completed"`
+	Quarantined int  `json:"quarantined"`
+	Retried     int  `json:"retried"`
+	Leases      int  `json:"leases"`
+	Requeues    int  `json:"requeues"`
+	Balanced    bool `json:"balanced"`
+	// Quarantines lists each quarantined spec with its final error.
+	Quarantines []quarantineAudit `json:"quarantines,omitempty"`
+}
+
+type quarantineAudit struct {
+	ID  string `json:"id"`
+	Err string `json:"err"`
 }
 
 // hubAudit tallies the multi-viewer hub's journaled traffic: session
@@ -260,6 +289,8 @@ func auditJournal(path string, jsonOut bool) error {
 		journal.TypeResume, journal.TypeError, journal.TypeRestart,
 		journal.TypeShutdown, journal.TypeCheckpoint, journal.TypeOverflow,
 		journal.TypeSteer, journal.TypeSubscribe,
+		journal.TypeSubmit, journal.TypeLease, journal.TypeRequeue,
+		journal.TypeQuarantine, journal.TypeComplete,
 	} {
 		if counts[ty] > 0 {
 			ct.AddRow(ty, counts[ty])
@@ -293,6 +324,19 @@ func auditJournal(path string, jsonOut bool) error {
 	}
 	if err := pt.Fprint(os.Stdout); err != nil {
 		return err
+	}
+
+	// Fleet audit: the experiment ledger and its conservation law.
+	if f := fleetTallies(events); f != nil {
+		fmt.Printf("  fleet    submitted=%d completed=%d quarantined=%d retried=%d leases=%d requeues=%d balanced=%v\n",
+			f.Submitted, f.Completed, f.Quarantined, f.Retried, f.Leases, f.Requeues, f.Balanced)
+		for _, q := range f.Quarantines {
+			fmt.Printf("    quarantined %s: %s\n", q.ID, firstLine(q.Err))
+		}
+		if !f.Balanced {
+			fmt.Printf("    unbalanced: %d specs neither completed nor quarantined (killed mid-sweep? resume the fleet)\n",
+				f.Submitted-f.Completed-f.Quarantined)
+		}
 	}
 
 	// Hub audit: who watched, what was dropped, how the run was steered.
@@ -344,7 +388,53 @@ func buildAudit(path string, events []journal.Event, torn bool) journalAudit {
 		a.Errors = append(a.Errors, errorAudit{Rank: ev.Rank, Step: ev.Step, Err: ev.Err})
 	}
 	a.Hub = hubTallies(events)
+	a.Fleet = fleetTallies(events)
 	return a
+}
+
+// fleetTallies replays a fleet journal's experiment ledger: unique spec
+// IDs through each lifecycle stage, attempt counts, and the
+// completed+quarantined==submitted conservation check. Returns nil when
+// the journal records no fleet traffic.
+func fleetTallies(events []journal.Event) *fleetAudit {
+	submitted := map[string]bool{}
+	completed := map[string]bool{}
+	quarantined := map[string]bool{}
+	retried := map[string]bool{}
+	var f fleetAudit
+	seen := false
+	for _, ev := range events {
+		switch ev.Type {
+		case journal.TypeSubmit:
+			seen = true
+			submitted[ev.Src] = true
+		case journal.TypeLease:
+			seen = true
+			f.Leases++
+		case journal.TypeRequeue:
+			seen = true
+			f.Requeues++
+			retried[ev.Src] = true
+		case journal.TypeQuarantine:
+			seen = true
+			if !quarantined[ev.Src] {
+				quarantined[ev.Src] = true
+				f.Quarantines = append(f.Quarantines, quarantineAudit{ID: ev.Src, Err: ev.Err})
+			}
+		case journal.TypeComplete:
+			seen = true
+			completed[ev.Src] = true
+		}
+	}
+	if !seen {
+		return nil
+	}
+	f.Submitted = len(submitted)
+	f.Completed = len(completed)
+	f.Quarantined = len(quarantined)
+	f.Retried = len(retried)
+	f.Balanced = f.Completed+f.Quarantined == f.Submitted
+	return &f
 }
 
 // hubTallies replays the hub's journaled traffic: subscriber churn,

@@ -1,0 +1,129 @@
+//go:build unix
+
+package fleet_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ascr-ecx/eth/internal/fleet"
+)
+
+// TestFleetAPI drives the full steering surface over HTTP: submit (one
+// and many), list, fetch, counts, and drain.
+func TestFleetAPI(t *testing.T) {
+	dir := t.TempDir()
+	s, err := fleet.New(fleet.Config{Dir: dir, Workers: 2, BackoffBase: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	runDone := make(chan error, 1)
+	go func() { runDone <- s.Run(context.Background()) }()
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/specs", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// A single spec object and an array both submit.
+	sp := helperSpec("api-a", "", 2, 0, dir)
+	one, _ := json.Marshal(sp)
+	if resp := post(string(one)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("single submit: %s", resp.Status)
+	}
+	sp2, sp3 := helperSpec("api-b", "", 2, 0, dir), helperSpec("api-c", "", 2, 0, dir)
+	many, _ := json.Marshal([]fleet.Spec{sp2, sp3})
+	if resp := post(string(many)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("array submit: %s", resp.Status)
+	}
+
+	// Duplicates conflict; malformed specs are rejected up front.
+	if resp := post(string(one)); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate submit: %s, want 409", resp.Status)
+	}
+	if resp := post(`{"id":"bad/slash","kind":"run"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid submit: %s, want 400", resp.Status)
+	}
+	if resp := post(`not json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage submit: %s, want 400", resp.Status)
+	}
+
+	waitCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.WaitIdle(waitCtx); err != nil {
+		t.Fatalf("fleet never idled: %v", err)
+	}
+
+	// GET /specs lists all three; GET /specs/{id} fetches one.
+	resp, err := http.Get(srv.URL + "/specs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []fleet.SpecStatus
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("GET /specs returned %d specs, want 3", len(list))
+	}
+	resp, err = http.Get(srv.URL + "/specs/api-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st fleet.SpecStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "api-b" || st.Status != fleet.StatusDone {
+		t.Fatalf("GET /specs/api-b = %+v", st)
+	}
+	if resp, _ := http.Get(srv.URL + "/specs/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET unknown spec: %s, want 404", resp.Status)
+	}
+
+	// GET /fleet reports the conservation tally.
+	resp, err = http.Get(srv.URL + "/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tally struct {
+		fleet.Counts
+		Balanced bool `json:"balanced"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tally); err != nil {
+		t.Fatal(err)
+	}
+	if tally.Submitted != 3 || tally.Completed != 3 || !tally.Balanced {
+		t.Fatalf("GET /fleet = %+v", tally)
+	}
+
+	// POST /drain ends Run.
+	resp, err = http.Post(srv.URL+"/drain", "application/json", bytes.NewReader(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /drain: %s, want 202", resp.Status)
+	}
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("Run after drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Run did not return after POST /drain")
+	}
+}

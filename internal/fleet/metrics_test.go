@@ -1,0 +1,95 @@
+//go:build unix
+
+package fleet_test
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/ascr-ecx/eth/internal/fleet"
+	"github.com/ascr-ecx/eth/internal/obs"
+)
+
+// TestFleetMetricsExposed proves the fleet's gauges and counters reach
+// /metrics through the shared telemetry registry: run a tiny fleet
+// with one quarantining spec, scrape an obs server, and check the
+// conservation-law metrics are present and consistent.
+func TestFleetMetricsExposed(t *testing.T) {
+	dir := t.TempDir()
+	s, err := fleet.New(fleet.Config{Dir: dir, Workers: 1, BackoffBase: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := []fleet.Spec{
+		helperSpec("m-good", "", 2, 0, dir),
+		helperSpec("m-bad", "poison", 2, -1, dir),
+	}
+	if err := runFleet(t, s, specs); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	srv, err := obs.Start(obs.Config{Addr: "127.0.0.1:0", Role: "fleet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL()+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Gauges reflect the drained fleet: empty queue, nothing in flight,
+	// one quarantined.
+	for name, want := range map[string]float64{
+		"eth_fleet_queue_depth": 0,
+		"eth_fleet_inflight":    0,
+		"eth_fleet_quarantined": 1,
+	} {
+		v, ok := exp.Value(name)
+		if !ok {
+			t.Errorf("metric %s missing from /metrics", name)
+			continue
+		}
+		if v != want {
+			t.Errorf("%s = %v, want %v", name, v, want)
+		}
+		if typ := exp.Types[name]; typ != "gauge" {
+			t.Errorf("%s declared as %q, want gauge", name, typ)
+		}
+	}
+
+	// Counters only accumulate (other tests in this process may have
+	// run fleets too), so assert presence and a sane floor.
+	for name, floor := range map[string]float64{
+		"eth_fleet_submitted_total": 2,
+		"eth_fleet_completed_total": 1,
+		"eth_fleet_requeues_total":  0,
+	} {
+		v, ok := exp.Value(name)
+		if !ok {
+			t.Errorf("metric %s missing from /metrics", name)
+			continue
+		}
+		if v < floor {
+			t.Errorf("%s = %v, want >= %v", name, v, floor)
+		}
+	}
+
+	// Ingestion's own plane rode along.
+	if _, ok := exp.Value("eth_ingest_events_total"); !ok {
+		t.Error("eth_ingest_events_total missing: fleet ingestion is not on the metrics plane")
+	}
+}

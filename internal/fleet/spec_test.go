@@ -1,0 +1,80 @@
+package fleet
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"run", Spec{ID: "sweep-a.1", Kind: KindRun}, true},
+		{"bench", Spec{ID: "fig8", Kind: KindBench}, true},
+		{"exec", Spec{ID: "x", Kind: KindExec, Args: []string{"/bin/true"}}, true},
+		{"no id", Spec{Kind: KindRun}, false},
+		{"bad id char", Spec{ID: "a/b", Kind: KindRun}, false},
+		{"dot prefix", Spec{ID: ".hidden", Kind: KindRun}, false},
+		{"unknown kind", Spec{ID: "a", Kind: "shell"}, false},
+		{"exec without argv", Spec{ID: "a", Kind: KindExec}, false},
+		{"retries too negative", Spec{ID: "a", Kind: KindRun, Retries: -2}, false},
+		{"no retries", Spec{ID: "a", Kind: KindRun, Retries: -1}, true},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: Validate = %v, want nil", tc.name, err)
+		}
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("%s: Validate = nil, want error", tc.name)
+			} else if !errors.Is(err, ErrBadSpec) {
+				t.Errorf("%s: Validate = %v, want ErrBadSpec", tc.name, err)
+			}
+		}
+	}
+}
+
+func TestSpecRetryBudget(t *testing.T) {
+	if got := (Spec{Retries: 0}).retryBudget(2); got != 2 {
+		t.Errorf("inherit: %d, want 2", got)
+	}
+	if got := (Spec{Retries: -1}).retryBudget(2); got != 0 {
+		t.Errorf("none: %d, want 0", got)
+	}
+	if got := (Spec{Retries: 5}).retryBudget(2); got != 5 {
+		t.Errorf("own: %d, want 5", got)
+	}
+}
+
+func TestLoadSweep(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "sweep.json")
+	os.WriteFile(good, []byte(`[
+		{"id": "a", "kind": "run", "args": ["-steps", "3"]},
+		{"id": "b", "kind": "bench", "retries": 1}
+	]`), 0o644)
+	specs, err := LoadSweep(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 || specs[0].ID != "a" || specs[1].Retries != 1 {
+		t.Fatalf("sweep loaded as %+v", specs)
+	}
+
+	dup := filepath.Join(dir, "dup.json")
+	os.WriteFile(dup, []byte(`[{"id":"a","kind":"run"},{"id":"a","kind":"run"}]`), 0o644)
+	if _, err := LoadSweep(dup); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("duplicate ids = %v, want ErrBadSpec", err)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte(`[{"id":"a","kind":"run"},{"kind":"run"}]`), 0o644)
+	if _, err := LoadSweep(bad); !errors.Is(err, ErrBadSpec) {
+		t.Fatalf("invalid entry = %v, want ErrBadSpec (reject the whole sweep)", err)
+	}
+}

@@ -83,6 +83,23 @@ const (
 	// with "join", "leave", or "reject" and identifies the subscriber
 	// and its starting cursor.
 	TypeSubscribe = "subscribe"
+	// TypeSubmit records an experiment spec entering a fleet queue;
+	// Detail identifies the spec and its source (API, sweep file, resume).
+	TypeSubmit = "submit"
+	// TypeLease records a fleet spec being leased to a worker slot for
+	// one attempt; Detail carries "spec=<id> worker=<n> attempt=<k>".
+	TypeLease = "lease"
+	// TypeRequeue records a lease being revoked — the worker crashed,
+	// stalled, or exited nonzero — and the spec going back on the queue
+	// with its retry budget decremented.
+	TypeRequeue = "requeue"
+	// TypeQuarantine records a spec exhausting its retry budget and
+	// leaving the queue permanently; Err carries the final failure and
+	// Detail points at the preserved journal tail.
+	TypeQuarantine = "quarantine"
+	// TypeComplete records a fleet spec finishing successfully and
+	// entering the durable done-set.
+	TypeComplete = "complete"
 )
 
 // Phase names used by timed events. Breakdown sums event durations by
@@ -127,6 +144,10 @@ type Event struct {
 	Detail string `json:"detail,omitempty"`
 	// Err is the error message for TypeError events.
 	Err string `json:"err,omitempty"`
+	// Src identifies the originating journal when events from many
+	// writers are merged into one stream (fleet ingestion tags each
+	// worker's events with its spec ID). Empty for single-writer runs.
+	Src string `json:"src,omitempty"`
 }
 
 // Dur returns the event duration.
@@ -150,14 +171,38 @@ func New() *Writer { return &Writer{} }
 // NewWriter returns a journal that mirrors events to w as JSONL.
 func NewWriter(w io.Writer) *Writer { return &Writer{out: w} }
 
+// ErrLocked is wrapped by Create/Append when the journal file is
+// already open for writing by another process. A journal file has
+// exactly one writer at a time — the one-writer-per-journal-file
+// contract: interleaved appends from two processes would shred the
+// JSONL framing in ways torn-tail repair cannot undo. Fan-in from many
+// producers goes through an ingestion batcher (internal/ingest) that
+// owns the merged journal's single writer. The lock is advisory,
+// attached to the open file, and released by the kernel when the
+// holder exits — so a kill -9'd incarnation never leaves a stale lock
+// behind for its replacement to trip over.
+var ErrLocked = errors.New("journal: file already open by another writer")
+
 // Create returns a journal that mirrors events to a new file at path.
 // File-backed journals are deliberately unbuffered: each event is one
 // write syscall, so a crash — even kill -9 — loses at most the torn tail
-// of the final line, which Read tolerates.
+// of the final line, which Read tolerates. The file is exclusively
+// locked until Close: a second concurrent writer gets ErrLocked.
 func Create(path string) (*Writer, error) {
-	f, err := os.Create(path)
+	// Open without O_TRUNC: truncation must happen under the lock, or a
+	// second Create racing a live writer would destroy its events before
+	// losing the lock race.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: creating %s: %w", path, err)
+	}
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: truncating %s: %w", path, err)
 	}
 	return &Writer{out: f, file: f}, nil
 }
@@ -168,25 +213,29 @@ func Create(path string) (*Writer, error) {
 // the previous incarnation tore off. A torn final line (the previous
 // incarnation died mid-write) is truncated away first; appending after
 // it would otherwise glue the new event onto the partial line and turn
-// a tolerable torn tail into a hard parse error.
+// a tolerable torn tail into a hard parse error. Like Create, the file
+// is exclusively locked until Close (ErrLocked if another process
+// already writes it); the tail repair happens under the lock.
 func Append(path string) (*Writer, error) {
-	if err := repairTornTail(path); err != nil {
-		return nil, err
-	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: appending to %s: %w", path, err)
+	}
+	if err := repairTornTail(path, f); err != nil {
+		f.Close()
+		return nil, err
 	}
 	return &Writer{out: f, file: f}, nil
 }
 
 // repairTornTail truncates the file after its last complete
-// (newline-terminated) line. A missing file needs no repair.
-func repairTornTail(path string) error {
+// (newline-terminated) line, through the already-locked descriptor f.
+func repairTornTail(path string, f *os.File) error {
 	raw, err := os.ReadFile(path)
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
 	if err != nil {
 		return fmt.Errorf("journal: inspecting %s: %w", path, err)
 	}
@@ -194,7 +243,7 @@ func repairTornTail(path string) error {
 	if keep == len(raw) {
 		return nil
 	}
-	if err := os.Truncate(path, int64(keep)); err != nil {
+	if err := f.Truncate(int64(keep)); err != nil {
 		return fmt.Errorf("journal: repairing torn tail of %s: %w", path, err)
 	}
 	return nil

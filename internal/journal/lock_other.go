@@ -1,0 +1,11 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// lockFile is a no-op on platforms without flock semantics: the
+// one-writer-per-journal-file contract is enforced only where the
+// kernel can release the lock on process death. All supported fleet
+// deployments are unix.
+func lockFile(f *os.File) error { return nil }

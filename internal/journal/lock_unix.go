@@ -1,0 +1,28 @@
+//go:build unix
+
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes a kernel-advisory exclusive lock (flock) on the open
+// journal file, enforcing the one-writer-per-journal-file contract. The
+// lock belongs to the open file description: it conflicts with any
+// other open of the same file — a second writer in this process or
+// another — and is released when the descriptor closes, including by
+// process death, so a SIGKILLed writer frees its journal for the
+// restarted incarnation automatically.
+func lockFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return fmt.Errorf("one writer per journal file: %w", ErrLocked)
+	}
+	if err != nil {
+		return fmt.Errorf("locking: %w", err)
+	}
+	return nil
+}

@@ -13,9 +13,11 @@ go build ./...
 # The -max-ignores bound is the suppression-debt gate: fixing a finding
 # is free, suppressing one spends budget. Raising the bound is a
 # deliberate, reviewed act. -stale-ignores fails on directives that no
-# longer suppress anything.
-echo "== ethlint -max-ignores 18 -stale-ignores ./..."
-go run ./cmd/ethlint -max-ignores 18 -stale-ignores ./...
+# longer suppress anything. (19: re-audited for the fleet scheduler —
+# two stale directives removed, one new justified nakedgo in
+# internal/ingest whose flush-loop lifecycle is owned by Close.)
+echo "== ethlint -max-ignores 19 -stale-ignores ./..."
+go run ./cmd/ethlint -max-ignores 19 -stale-ignores ./...
 
 echo "== go test -race ./..."
 go test -race ./...
@@ -91,6 +93,18 @@ go test -run='^$' -fuzz=FuzzSteeringMessage -fuzztime=10s ./internal/hub/
 # resumed from its cursor, then a journal audit via ethinfo.
 echo "== scripts/hub_smoke.sh"
 ./scripts/hub_smoke.sh
+
+# Fleet chaos: run the scheduler suites (worker SIGKILL mid-write,
+# scheduler SIGKILL + resume, torn-tail ingestion) by name, race-enabled,
+# so a rename that drops one from the default run fails loudly here.
+echo "== go test -race -run 'TestFleet|TestCollector|TestBatcher' ./internal/fleet ./internal/ingest"
+go test -race -run 'TestFleet|TestCollector|TestBatcher' ./internal/fleet/ ./internal/ingest/
+
+# Fleet smoke: real ethserve + ethbench worker subprocesses, one worker
+# SIGKILLed mid-attempt, the scheduler SIGKILLed mid-sweep and resumed,
+# then an ethinfo conservation-law audit of the merged journal.
+echo "== scripts/fleet_smoke.sh"
+./scripts/fleet_smoke.sh
 
 # Benchmark smoke: one iteration of every benchmark with -benchmem, so a
 # benchmark that panics or regresses into a compile error fails the gate
